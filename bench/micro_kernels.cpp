@@ -1,0 +1,218 @@
+// Microbenchmarks of the computational substrates: host gemm and trsm, the
+// Floyd–Warshall block kernels, and the bit-accurate IEEE-754 cores (soft
+// vs native). google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fparith/ieee754.hpp"
+#include "fpga/pe_cycle_sim.hpp"
+#include "graph/floyd_warshall.hpp"
+#include "graph/generate.hpp"
+#include "graph/transitive_closure.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/getrf.hpp"
+#include "linalg/sparse.hpp"
+
+using namespace rcs;
+
+namespace {
+
+void BM_GemmNaive(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  linalg::Matrix a = linalg::random_matrix(n, n, 1);
+  linalg::Matrix b = linalg::random_matrix(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_naive(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  linalg::Matrix a = linalg::random_matrix(n, n, 1);
+  linalg::Matrix b = linalg::random_matrix(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GetrfBlocked(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix a = linalg::diagonally_dominant(n, 3);
+  for (auto _ : state) {
+    linalg::Matrix f = a;
+    linalg::getrf_blocked(f.view(), 32);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n / 3);
+}
+BENCHMARK(BM_GetrfBlocked)->Arg(128)->Arg(256);
+
+void BM_FwBlockKernel(benchmark::State& state) {
+  const std::size_t b = state.range(0);
+  linalg::Matrix c = graph::random_digraph(b, 5, 0.6);
+  linalg::Matrix a = graph::random_digraph(b, 6, 0.6);
+  linalg::Matrix d = graph::random_digraph(b, 7, 0.6);
+  for (auto _ : state) {
+    graph::fw_block(c.view(), a.view(), d.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * b * b);
+}
+BENCHMARK(BM_FwBlockKernel)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_FloydWarshallReference(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix d0 = graph::random_digraph(n, 8, 0.5);
+  for (auto _ : state) {
+    linalg::Matrix d = d0;
+    graph::floyd_warshall(d);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_FloydWarshallReference)->Arg(64)->Arg(128);
+
+void BM_SoftFpAdd(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> xs(1024), ys(1024);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(-1e6, 1e6);
+    ys[i] = rng.uniform(-1e6, 1e6);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fparith::add(xs[i & 1023], ys[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFpAdd);
+
+void BM_SoftFpMul(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<double> xs(1024), ys(1024);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(-1e6, 1e6);
+    ys[i] = rng.uniform(-1e6, 1e6);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fparith::mul(xs[i & 1023], ys[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFpMul);
+
+void BM_PotrfBlocked(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix a = linalg::spd_matrix(n, 4);
+  for (auto _ : state) {
+    linalg::Matrix f = a;
+    linalg::potrf_blocked(f.view(), 32);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 3);
+}
+BENCHMARK(BM_PotrfBlocked)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  linalg::Matrix a = linalg::random_matrix(n, n, 1);
+  linalg::Matrix b = linalg::random_matrix(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_nt(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128);
+
+void BM_TransitiveClosureBlocked(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix d = graph::random_digraph(n, 9, 0.02);
+  const graph::BitMatrix seed = graph::adjacency_from_distances(d);
+  for (auto _ : state) {
+    graph::BitMatrix reach = seed;
+    graph::blocked_transitive_closure(reach, 64);
+    benchmark::DoNotOptimize(reach.count());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 64);
+}
+BENCHMARK(BM_TransitiveClosureBlocked)->Arg(256)->Arg(512);
+
+void BM_SpmvLaplacian(benchmark::State& state) {
+  const std::size_t g = state.range(0);
+  const auto lap = linalg::CsrMatrix::laplacian_2d(g, g);
+  std::vector<double> x(lap.cols(), 1.0), y(lap.rows());
+  for (auto _ : state) {
+    lap.spmv(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * lap.nnz());
+}
+BENCHMARK(BM_SpmvLaplacian)->Arg(64)->Arg(256);
+
+void BM_SoftFpDiv(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<double> xs(1024), ys(1024);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(-1e6, 1e6);
+    ys[i] = rng.uniform(0.5, 1e6);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fparith::div(xs[i & 1023], ys[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFpDiv);
+
+void BM_SoftFpSqrt(benchmark::State& state) {
+  Rng rng(19);
+  std::vector<double> xs(1024);
+  for (auto& v : xs) v = rng.uniform(0.0, 1e12);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fparith::sqrt(xs[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFpSqrt);
+
+void BM_PeCycleSim(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fpga::simulate_pe_array(8, 375, fparith::kMultiplierPipeline,
+                                fparith::kAdderPipeline)
+            .total_cycles);
+  }
+}
+BENCHMARK(BM_PeCycleSim);
+
+void BM_NativeFpAdd(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> xs(1024), ys(1024);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(-1e6, 1e6);
+    ys[i] = rng.uniform(-1e6, 1e6);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i & 1023] + ys[i & 1023]);
+    ++i;
+  }
+}
+BENCHMARK(BM_NativeFpAdd);
+
+}  // namespace

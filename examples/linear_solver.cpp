@@ -1,0 +1,89 @@
+// Example: a dense linear-system solver on a reconfigurable computing
+// system — the workload class the paper's introduction motivates (matrix
+// factorization at the heart of scientific codes).
+//
+// Solves A x = rhs for several right-hand sides: the hybrid distributed LU
+// factors A once (CPU+FPGA across the nodes), then triangular solves run per
+// right-hand side. Verifies the solution and reports the simulated
+// performance of all three design variants.
+//
+//   ./linear_solver [--n 128] [--b 32] [--p 4] [--rhs 4]
+
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/rcs.hpp"
+
+using namespace rcs;
+
+namespace {
+
+/// Back-substitution U x = y (U upper triangular, non-unit diagonal).
+void solve_upper(const linalg::Matrix& u, linalg::Matrix& x) {
+  const std::size_t n = u.rows();
+  for (std::size_t col = 0; col < x.cols(); ++col) {
+    for (std::size_t j = n; j-- > 0;) {
+      double acc = x(j, col);
+      for (std::size_t i = j + 1; i < n; ++i) acc -= u(j, i) * x(i, col);
+      x(j, col) = acc / u(j, j);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Dense linear solver over the hybrid LU design");
+  cli.add_int("n", 512, "matrix dimension");
+  cli.add_int("b", 128, "block size (must divide n)");
+  cli.add_int("p", 4, "simulated nodes");
+  cli.add_int("rhs", 4, "number of right-hand sides");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const long long n = cli.get_int("n");
+  const long long b = cli.get_int("b");
+  const int p = static_cast<int>(cli.get_int("p"));
+  const std::size_t nrhs = static_cast<std::size_t>(cli.get_int("rhs"));
+
+  const core::SystemParams sys =
+      core::SystemParams::cray_xd1().with_nodes(p);
+
+  // Problem setup: a diagonally dominant system with known solutions.
+  const linalg::Matrix a = linalg::diagonally_dominant(n, 2024);
+  linalg::Matrix x_true = linalg::random_matrix(n, nrhs, 7, -3.0, 3.0);
+  linalg::Matrix rhs(n, nrhs);
+  linalg::gemm_overwrite(a.view(), x_true.view(), rhs.view());
+
+  std::cout << "Solving A x = rhs:  n = " << n << ", " << nrhs
+            << " right-hand sides, " << p << " nodes ("
+            << sys.name << ")\n\n";
+
+  Table t("Design variants");
+  t.set_header({"design", "factor latency (sim)", "GFLOPS", "max |x - x*|"});
+  for (auto mode : {core::DesignMode::Hybrid, core::DesignMode::ProcessorOnly,
+                    core::DesignMode::FpgaOnly}) {
+    core::LuConfig cfg;
+    cfg.n = n;
+    cfg.b = b;
+    cfg.mode = mode;
+    const auto res = core::lu_functional(sys, cfg, a);
+
+    linalg::Matrix l, u;
+    linalg::split_lu(res.factored.view(), l, u);
+    linalg::Matrix x = rhs;
+    linalg::trsm_left_lower_unit(l.view(), x.view());
+    solve_upper(u, x);
+    const double err = linalg::max_abs_diff(x.view(), x_true.view());
+
+    t.add_row({core::to_string(mode), Table::seconds(res.run.seconds),
+               Table::num(res.run.gflops(), 4), Table::num(err, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nAll three variants produce the same factors; only the\n"
+               "simulated time differs — the hybrid wins by using both the\n"
+               "processor and the FPGA for the trailing-update multiplies.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+// Error handling primitives for the rcs libraries.
+//
+// Policy (per C++ Core Guidelines E.*): programming errors and violated
+// preconditions throw `rcs::Error` with a formatted message; hot inner loops
+// use RCS_DASSERT which compiles away in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rcs {
+
+/// Exception type thrown by all rcs libraries on precondition or invariant
+/// violation. Carries a human-readable message including the source location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace rcs
+
+/// Always-on check: throws rcs::Error when `cond` is false.
+#define RCS_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::rcs::detail::fail(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+/// Always-on check with a streamed message:
+///   RCS_CHECK_MSG(n > 0, "matrix dimension must be positive, got " << n);
+#define RCS_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream rcs_os_;                                 \
+      rcs_os_ << msg;                                             \
+      ::rcs::detail::fail(__FILE__, __LINE__, #cond, rcs_os_.str()); \
+    }                                                             \
+  } while (0)
+
+/// Debug-only assertion for hot paths; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define RCS_DASSERT(cond) ((void)0)
+#else
+#define RCS_DASSERT(cond) RCS_CHECK(cond)
+#endif

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rcs::log {
+
+namespace {
+
+Level parse_env() {
+  const char* e = std::getenv("RCS_LOG_LEVEL");
+  if (e == nullptr) return Level::Warn;
+  if (std::strcmp(e, "trace") == 0) return Level::Trace;
+  if (std::strcmp(e, "debug") == 0) return Level::Debug;
+  if (std::strcmp(e, "info") == 0) return Level::Info;
+  if (std::strcmp(e, "warn") == 0) return Level::Warn;
+  if (std::strcmp(e, "error") == 0) return Level::Error;
+  if (std::strcmp(e, "off") == 0) return Level::Off;
+  return Level::Warn;
+}
+
+std::atomic<Level> g_level{parse_env()};
+std::mutex g_mutex;
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) { return lvl >= level(); }
+
+namespace detail {
+void emit(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[rcs %s] %s\n", name(lvl), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace rcs::log

@@ -1,0 +1,52 @@
+#pragma once
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   RCS_LOG(Info) << "partition solved: b_f=" << bf;
+// Level is controlled globally via rcs::log::set_level or the RCS_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off).
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rcs::log {
+
+enum class Level { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Set the global minimum level at which messages are emitted.
+void set_level(Level lvl);
+
+/// Current global level (initialized from $RCS_LOG_LEVEL, default Warn).
+Level level();
+
+/// True when a message at `lvl` would be emitted.
+bool enabled(Level lvl);
+
+namespace detail {
+void emit(Level lvl, const std::string& msg);
+
+class Line {
+ public:
+  explicit Line(Level lvl) : lvl_(lvl) {}
+  ~Line() { emit(lvl_, os_.str()); }
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+  template <typename T>
+  Line& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rcs::log
+
+#define RCS_LOG(severity)                                        \
+  if (!::rcs::log::enabled(::rcs::log::Level::severity)) {       \
+  } else                                                         \
+    ::rcs::log::detail::Line(::rcs::log::Level::severity)

@@ -1,0 +1,38 @@
+#pragma once
+// Small statistics helpers used by benches and the experiment harness.
+
+#include <cstddef>
+#include <vector>
+
+namespace rcs {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Incorporate one sample.
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation on a copy of `xs`.
+/// Requires a non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Geometric mean of strictly positive samples.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace rcs

@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace rcs {
+
+void Table::set_header(std::vector<std::string> header) {
+  RCS_CHECK_MSG(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  RCS_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+                "row width " << row.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string Table::num(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::seconds(double s) {
+  char buf[64];
+  const double a = std::fabs(s);
+  if (a >= 1.0 || a == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g s", s);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.4g ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g us", s * 1e6);
+  }
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(width[i] - cell.size(), ' ')
+         << (i + 1 < width.size() ? " | " : " |\n");
+    }
+    if (width.size() == 1) os.flush();
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    os << "|";
+    for (std::size_t w : width) os << std::string(w + 2, '-') << "|";
+    os << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        std::string q = "\"";
+        for (char c : cell) {
+          if (c == '"') q += '"';
+          q += c;
+        }
+        q += '"';
+        cell = q;
+      }
+      os << cell << (i + 1 < row.size() ? "," : "");
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace rcs

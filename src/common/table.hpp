@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table / CSV printer used by the paper-figure benches so that every
+// bench binary emits the same row/series layout the paper reports.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcs {
+
+/// Column-aligned text table with an optional title, printable as ASCII or
+/// CSV. Cells are strings; helpers format numbers with sensible precision.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must match the header width when a header is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with `digits` significant digits.
+  static std::string num(double v, int digits = 4);
+
+  /// Format an integer.
+  static std::string num(long long v);
+
+  /// Format seconds with an adaptive unit (s / ms / us).
+  static std::string seconds(double s);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows, comma-separated, minimal quoting).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcs

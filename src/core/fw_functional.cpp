@@ -1,0 +1,299 @@
+#include "core/fw_functional.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fpga/fw_kernel.hpp"
+#include "graph/floyd_warshall.hpp"
+#include "net/matrix_channel.hpp"
+#include "node/compute_node.hpp"
+
+namespace rcs::core {
+
+namespace {
+
+using linalg::Matrix;
+
+enum class Chan : int { Dtt = 1, Op22 = 2, Gather = 3 };
+
+int make_tag(Chan chan, long long t, long long w) {
+  RCS_CHECK_MSG(t < (1 << 9) && w < (1 << 18), "tag space exceeded");
+  return static_cast<int>((t << 21) | (w << 3) | static_cast<long long>(chan));
+}
+
+struct RankStats {
+  sim::SimTime finish = 0.0;
+  double cpu_busy = 0.0;
+  double fpga_busy = 0.0;
+  double cpu_flops = 0.0;
+  double fpga_flops = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t coordination = 0;
+};
+
+/// One block task of a wave: the functional kernel call plus its timing
+/// charge, assignable to either side.
+struct BlockTask {
+  std::function<void()> compute_native;
+  std::function<void()> compute_soft;
+  const char* label;
+};
+
+}  // namespace
+
+FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
+                                 const Matrix& d0, bool use_soft_fp,
+                                 sim::TraceRecorder* trace,
+                                 std::vector<net::MessageEvent>* message_log) {
+  RCS_CHECK_MSG(cfg.n > 0 && cfg.b > 0, "n and b must be positive");
+  RCS_CHECK_MSG(cfg.n % (cfg.b * sys.p) == 0, "FW layout needs b*p | n");
+  RCS_CHECK_MSG(d0.rows() == static_cast<std::size_t>(cfg.n) &&
+                    d0.cols() == static_cast<std::size_t>(cfg.n),
+                "input matrix shape mismatch");
+
+  const long long n = cfg.n;
+  const long long b = cfg.b;
+  const long long nb = n / b;
+  const int p = sys.p;
+  const long long cols_per_rank = nb / p;  // L: block-columns per rank
+
+  // Resolve the per-phase split exactly like the analytic plane.
+  long long l1 = cfg.l1;
+  if (l1 < 0) {
+    switch (cfg.mode) {
+      case DesignMode::Hybrid:
+        l1 = solve_fw_partition(sys, n, b).l1;
+        break;
+      case DesignMode::ProcessorOnly: l1 = cols_per_rank; break;
+      case DesignMode::FpgaOnly: l1 = 0; break;
+    }
+  }
+  const FwPartition part = fw_partition_at(sys, n, b, l1);
+
+  const fpga::FwKernel kernel(sys.fw_fpga);
+  kernel.require_fits(b);
+  const double task_flops = 2.0 * static_cast<double>(b) *
+                            static_cast<double>(b) * static_cast<double>(b);
+  const double task_cycles = static_cast<double>(kernel.cycles(b));
+  const std::uint64_t task_bytes = kernel.input_bytes(b);
+
+  net::World world(p, sys.network);
+  world.set_message_logging(message_log != nullptr);
+  std::vector<RankStats> stats(static_cast<std::size_t>(p));
+  std::vector<sim::TraceRecorder> rank_traces(
+      static_cast<std::size_t>(p),
+      sim::TraceRecorder(trace != nullptr && trace->enabled()));
+  Matrix distances(n, n);
+
+  world.run([&](net::Comm& comm) {
+    const int me = comm.rank();
+    node::ComputeNode node(sys.node_params_fw(), comm.clock(),
+                           &rank_traces[static_cast<std::size_t>(me)],
+                           "node" + std::to_string(me));
+
+    // Local storage: this rank's block-columns, densely packed.
+    const long long col0 = me * cols_per_rank;  // first owned block-column
+    Matrix local(n, cols_per_rank * b);
+    linalg::copy(d0.block(0, col0 * b, n, cols_per_rank * b), local.view());
+    auto lblk = [&](long long q, long long c) {
+      RCS_DASSERT(c >= col0 && c < col0 + cols_per_rank);
+      return local.block(q * b, (c - col0) * b, b, b);
+    };
+
+    // Run a wave of block tasks with the l1 : l2 split. FPGA-assigned tasks
+    // stream first (the FPGA pipelines behind the DRAM stream), then the
+    // CPU-assigned tasks run; fpga_wait() closes the §4.4 handshake.
+    auto run_wave = [&](std::vector<BlockTask>& tasks) {
+      const long long total = static_cast<long long>(tasks.size());
+      const long long on_fpga = std::min<long long>(part.l2, total);
+      // The tail of `tasks` goes to the FPGA (op22, pushed first, stays on
+      // the CPU whenever it has a slot). Stream the FPGA tasks first so the
+      // array pipelines behind the DRAM stream while the CPU then runs its
+      // own tasks — the overlap structure of §5.2.
+      for (long long i = total - on_fpga; i < total; ++i) {
+        auto& task = tasks[static_cast<std::size_t>(i)];
+        node.dram_to_fpga(task_bytes);
+        node.fpga_submit(task_cycles, task.label);
+        node.note_fpga_flops(task_flops);
+        if (use_soft_fp) {
+          task.compute_soft();
+        } else {
+          task.compute_native();
+        }
+      }
+      for (long long i = 0; i < total - on_fpga; ++i) {
+        auto& task = tasks[static_cast<std::size_t>(i)];
+        node.cpu_compute(node::CpuKernel::FwBlock, task_flops, task.label);
+        task.compute_native();
+      }
+      if (on_fpga > 0) {
+        node.fpga_wait();
+        node.read_fpga_results("fw wave results");
+      }
+      tasks.clear();
+    };
+
+    for (long long t = 0; t < nb; ++t) {
+      const int owner = static_cast<int>(t / cols_per_rank);
+
+      // Phase 0: op1 on the owner, then broadcast of D_tt.
+      Matrix dtt;
+      if (me == owner) {
+        if (cfg.mode == DesignMode::FpgaOnly) {
+          node.dram_to_fpga(task_bytes);
+          node.fpga_submit(task_cycles, "op1");
+          node.note_fpga_flops(task_flops);
+          if (use_soft_fp) {
+            kernel.run_block_soft(lblk(t, t), lblk(t, t), lblk(t, t));
+          } else {
+            kernel.run_block(lblk(t, t), lblk(t, t), lblk(t, t));
+          }
+          node.fpga_wait();
+        } else {
+          graph::fw_block(lblk(t, t), lblk(t, t), lblk(t, t));
+          node.cpu_compute(node::CpuKernel::FwBlock, task_flops, "op1");
+        }
+        dtt = Matrix::from_view(lblk(t, t));
+        for (int r = 0; r < p; ++r) {
+          if (r == owner) continue;
+          net::send_matrix(comm, r, make_tag(Chan::Dtt, t, 0), dtt.view());
+        }
+      } else {
+        dtt = net::recv_matrix(comm, owner, make_tag(Chan::Dtt, t, 0));
+      }
+
+      // Row order of the op3 waves: every q != t, ascending.
+      std::vector<long long> q_list;
+      q_list.reserve(static_cast<std::size_t>(nb - 1));
+      for (long long q = 0; q < nb; ++q) {
+        if (q != t) q_list.push_back(q);
+      }
+
+      // Wave 0: op21 on this rank's row-t blocks; the owner additionally
+      // computes the first op22 (kept on the CPU side of the split).
+      std::vector<BlockTask> tasks;
+      if (me == owner && !q_list.empty()) {
+        const long long q0 = q_list.front();
+        tasks.push_back(BlockTask{
+            [&, q0] { graph::fw_block(lblk(q0, t), lblk(q0, t), dtt.view()); },
+            [&, q0] {
+              kernel.run_block_soft(lblk(q0, t), lblk(q0, t), dtt.view());
+            },
+            "op22"});
+      }
+      for (long long c = col0; c < col0 + cols_per_rank; ++c) {
+        if (c == t) continue;
+        tasks.push_back(BlockTask{
+            [&, c] { graph::fw_block(lblk(t, c), dtt.view(), lblk(t, c)); },
+            [&, c] {
+              kernel.run_block_soft(lblk(t, c), dtt.view(), lblk(t, c));
+            },
+            "op21"});
+      }
+      run_wave(tasks);
+      if (me == owner && !q_list.empty()) {
+        for (int r = 0; r < p; ++r) {
+          if (r == owner) continue;
+          net::send_matrix(comm, r, make_tag(Chan::Op22, t, 0),
+                           lblk(q_list.front(), t));
+        }
+      }
+
+      // Waves 1..nb-1: op3 on row q_w; the owner folds the next op22 into
+      // its wave and broadcasts it afterwards.
+      for (std::size_t w = 0; w < q_list.size(); ++w) {
+        const long long q = q_list[w];
+        Matrix dqt;
+        if (me == owner) {
+          dqt = Matrix::from_view(lblk(q, t));
+        } else {
+          dqt = net::recv_matrix(comm, owner,
+                                 make_tag(Chan::Op22, t,
+                                          static_cast<long long>(w)));
+        }
+        if (me == owner && w + 1 < q_list.size()) {
+          const long long qn = q_list[w + 1];
+          tasks.push_back(BlockTask{
+              [&, qn] {
+                graph::fw_block(lblk(qn, t), lblk(qn, t), dtt.view());
+              },
+              [&, qn] {
+                kernel.run_block_soft(lblk(qn, t), lblk(qn, t), dtt.view());
+              },
+              "op22"});
+        }
+        // dqt must outlive the task closures: keep it alive for the wave.
+        for (long long c = col0; c < col0 + cols_per_rank; ++c) {
+          if (c == t) continue;
+          tasks.push_back(BlockTask{
+              [&, q, c] {
+                graph::fw_block(lblk(q, c), dqt.view(), lblk(t, c));
+              },
+              [&, q, c] {
+                kernel.run_block_soft(lblk(q, c), dqt.view(), lblk(t, c));
+              },
+              "op3"});
+        }
+        run_wave(tasks);
+        if (me == owner && w + 1 < q_list.size()) {
+          for (int r = 0; r < p; ++r) {
+            if (r == owner) continue;
+            net::send_matrix(comm, r,
+                             make_tag(Chan::Op22, t,
+                                      static_cast<long long>(w + 1)),
+                             lblk(q_list[w + 1], t));
+          }
+        }
+      }
+      comm.barrier();
+    }
+
+    RankStats& st = stats[static_cast<std::size_t>(me)];
+    st.finish = comm.clock().now();
+    st.cpu_busy = node.cpu_busy_total();
+    st.fpga_busy = node.fpga_busy_total();
+    st.cpu_flops = node.cpu_flops_total();
+    st.fpga_flops = node.fpga_flops_total();
+    st.bytes_sent = comm.bytes_sent();
+    st.coordination = node.coordination_events();
+
+    // Untimed gather of the block-columns at rank 0.
+    if (me == 0) {
+      linalg::copy(local.view(), distances.block(0, 0, n, cols_per_rank * b));
+      for (int r = 1; r < p; ++r) {
+        Matrix cols = net::recv_matrix(comm, r, make_tag(Chan::Gather, 0, r));
+        linalg::copy(cols.view(),
+                     distances.block(0, r * cols_per_rank * b, n,
+                                     cols_per_rank * b));
+      }
+    } else {
+      net::send_matrix(comm, 0, make_tag(Chan::Gather, 0, me), local.view());
+    }
+  });
+
+  if (trace != nullptr) {
+    for (auto& rt : rank_traces) trace->merge_from(std::move(rt));
+  }
+  if (message_log != nullptr) *message_log = world.message_log();
+
+  FwFunctionalResult res;
+  res.distances = std::move(distances);
+  res.partition = part;
+  res.run.design = std::string("FW/") + to_string(cfg.mode) + "/functional";
+  for (const RankStats& st : stats) {
+    res.run.seconds = std::max(res.run.seconds, st.finish);
+    res.run.cpu_busy_seconds += st.cpu_busy;
+    res.run.fpga_busy_seconds += st.fpga_busy;
+    res.run.cpu_flops += st.cpu_flops;
+    res.run.fpga_flops += st.fpga_flops;
+    res.run.bytes_on_network += st.bytes_sent;
+    res.run.coordination_events += st.coordination;
+  }
+  res.run.total_flops = res.run.cpu_flops + res.run.fpga_flops;
+  return res;
+}
+
+}  // namespace rcs::core

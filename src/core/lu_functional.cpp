@@ -1,0 +1,323 @@
+#include "core/lu_functional.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fpga/matmul_array.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/getrf.hpp"
+#include "net/matrix_channel.hpp"
+#include "node/compute_node.hpp"
+
+namespace rcs::core {
+
+namespace {
+
+using linalg::Matrix;
+
+/// Message tag: iteration-scoped purpose + sequence number.
+enum class Chan : int { CStripe = 1, DStripe = 2, EShare = 3, Gather = 4 };
+
+int make_tag(Chan chan, long long t, long long j) {
+  RCS_CHECK_MSG(t < (1 << 9) && j < (1 << 18),
+                "functional plane tag space exceeded (t=" << t << ", j=" << j
+                                                          << ")");
+  return static_cast<int>((t << 21) | (j << 3) | static_cast<long long>(chan));
+}
+
+int owner_of(long long u, long long v, int p) {
+  return static_cast<int>(std::min(u, v) % p);
+}
+
+/// Deterministic per-iteration list of opMM tasks (u, v), ordered by the
+/// panel pipeline: tasks become ready when both their opL (row u) and opU
+/// (column v) are done, i.e. after panel pair i = max(u, v) - t.
+std::vector<std::pair<long long, long long>> opmm_order(long long t,
+                                                        long long nb) {
+  std::vector<std::pair<long long, long long>> order;
+  const long long m = nb - 1 - t;
+  order.reserve(static_cast<std::size_t>(m * m));
+  for (long long i = 1; i <= m; ++i) {
+    for (long long j = 1; j <= i; ++j) order.emplace_back(t + i, t + j);
+    for (long long j = 1; j < i; ++j) order.emplace_back(t + j, t + i);
+  }
+  return order;
+}
+
+/// Column range [c0, c1) of E assigned to worker index w (0-based among the
+/// p-1 workers) when b columns are split as evenly as possible.
+std::pair<long long, long long> worker_columns(long long b, int workers,
+                                               int w) {
+  const long long base = b / workers;
+  const long long rem = b % workers;
+  const long long c0 = w * base + std::min<long long>(w, rem);
+  const long long width = base + (w < rem ? 1 : 0);
+  return {c0, c0 + width};
+}
+
+struct RankStats {
+  sim::SimTime finish = 0.0;
+  double cpu_busy = 0.0;
+  double fpga_busy = 0.0;
+  double cpu_flops = 0.0;
+  double fpga_flops = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t coordination = 0;
+};
+
+}  // namespace
+
+LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
+                                 const Matrix& a, bool use_soft_fp,
+                                 sim::TraceRecorder* trace,
+                                 std::vector<net::MessageEvent>* message_log) {
+  RCS_CHECK_MSG(cfg.n > 0 && cfg.b > 0 && cfg.n % cfg.b == 0,
+                "LU requires b | n");
+  RCS_CHECK_MSG(a.rows() == static_cast<std::size_t>(cfg.n) &&
+                    a.cols() == static_cast<std::size_t>(cfg.n),
+                "input matrix shape mismatch");
+  RCS_CHECK_MSG(sys.p >= 2, "the distributed LU design needs p >= 2");
+
+  const long long n = cfg.n;
+  const long long b = cfg.b;
+  const long long nb = n / b;
+  const int p = sys.p;
+  const int workers = p - 1;
+
+  // Resolve the partition and interleave exactly like the analytic plane.
+  long long b_f = cfg.b_f;
+  if (b_f < 0) {
+    switch (cfg.mode) {
+      case DesignMode::Hybrid: b_f = solve_mm_partition(sys, b).b_f; break;
+      case DesignMode::ProcessorOnly: b_f = 0; break;
+      case DesignMode::FpgaOnly: b_f = b; break;
+    }
+  }
+  const MmPartition part = mm_partition_at(sys, b, b_f);
+  LuInterleave li = solve_lu_interleave(sys, b, part, cfg.fanout);
+  const int l = cfg.l >= 0 ? cfg.l : li.l;
+  const long long b_p = b - b_f;
+
+  const fpga::MatMulArray array(sys.mm_fpga);
+  const long long k = sys.mm_fpga.pe_count;
+
+  net::World world(p, sys.network);
+  world.set_message_logging(message_log != nullptr);
+  std::vector<RankStats> stats(static_cast<std::size_t>(p));
+  std::vector<sim::TraceRecorder> rank_traces(
+      static_cast<std::size_t>(p),
+      sim::TraceRecorder(trace != nullptr && trace->enabled()));
+  Matrix factored(n, n);
+
+  world.run([&](net::Comm& comm) {
+    const int me = comm.rank();
+    node::ComputeNode node(sys.node_params_mm(), comm.clock(),
+                           &rank_traces[static_cast<std::size_t>(me)],
+                           "node" + std::to_string(me));
+
+    // Initial distribution (not timed, as in the paper's experiments): each
+    // rank copies its owned blocks out of the input matrix.
+    std::map<std::pair<long long, long long>, Matrix> blocks;
+    for (long long u = 0; u < nb; ++u) {
+      for (long long v = 0; v < nb; ++v) {
+        if (owner_of(u, v, p) == me) {
+          blocks.emplace(std::make_pair(u, v),
+                         Matrix::from_view(a.block(u * b, v * b, b, b)));
+        }
+      }
+    }
+    auto blk = [&](long long u, long long v) -> Matrix& {
+      auto it = blocks.find({u, v});
+      RCS_CHECK_MSG(it != blocks.end(), "rank " << me << " missing block ("
+                                                << u << "," << v << ")");
+      return it->second;
+    };
+
+    for (long long t = 0; t < nb; ++t) {
+      const int panel = static_cast<int>(t % p);
+      const auto order = opmm_order(t, nb);
+      const long long total = static_cast<long long>(order.size());
+      const double b3 = static_cast<double>(b) * static_cast<double>(b) *
+                        static_cast<double>(b);
+
+      if (me == panel) {
+        // --- Panel pipeline: opLU, then opL/opU pairs, serving stripe data
+        // for up to l ready opMM tasks after each panel operation.
+        linalg::getrf_unblocked(blk(t, t).view());
+        node.cpu_compute(node::CpuKernel::Dgetrf, (2.0 / 3.0) * b3, "opLU");
+
+        long long served = 0;
+        long long ready = 0;
+        // PaperSingle fan-out rides the RapidArray DMA engines (isend): the
+        // panel CPU pays only setup; SerialAll serializes on the CPU (§4.3).
+        const bool dma = cfg.fanout == SendFanout::PaperSingle;
+        auto serve = [&](long long count) {
+          for (long long s = 0; s < count && served < ready; ++s, ++served) {
+            const auto [u, v] = order[static_cast<std::size_t>(served)];
+            for (int r = 0; r < p; ++r) {
+              if (r == panel) continue;
+              if (dma) {
+                net::isend_matrix(comm, r, make_tag(Chan::CStripe, t, served),
+                                  blk(u, t).view());
+                net::isend_matrix(comm, r, make_tag(Chan::DStripe, t, served),
+                                  blk(t, v).view());
+              } else {
+                net::send_matrix(comm, r, make_tag(Chan::CStripe, t, served),
+                                 blk(u, t).view());
+                net::send_matrix(comm, r, make_tag(Chan::DStripe, t, served),
+                                 blk(t, v).view());
+              }
+            }
+          }
+        };
+        const long long m = nb - 1 - t;
+        for (long long i = 1; i <= m; ++i) {
+          linalg::trsm_right_upper(blk(t, t).view(), blk(t + i, t).view());
+          node.cpu_compute(node::CpuKernel::Dtrsm, b3, "opL");
+          if (l > 0) serve(l);
+          linalg::trsm_left_lower_unit(blk(t, t).view(),
+                                       blk(t, t + i).view());
+          node.cpu_compute(node::CpuKernel::Dtrsm, b3, "opU");
+          ready = i * i;
+          if (l > 0) serve(l);
+        }
+        serve(total - served);
+      } else {
+        // --- Worker: one column share of every opMM of this iteration.
+        int widx = me < panel ? me : me - 1;  // index among the p-1 workers
+        const auto [c0, c1] = worker_columns(b, workers, widx);
+        const long long cw = c1 - c0;
+        for (long long j = 0; j < total; ++j) {
+          const auto [u, v] = order[static_cast<std::size_t>(j)];
+          Matrix c = net::recv_matrix(comm, panel,
+                                      make_tag(Chan::CStripe, t, j));
+          Matrix d = net::recv_matrix(comm, panel,
+                                      make_tag(Chan::DStripe, t, j));
+          Matrix e(b, cw);
+          auto dshare = d.block(0, c0, b, cw);
+
+          // Timing: stream the k-wide stripes; the FPGA pipelines behind the
+          // DRAM stream while the CPU computes its own rows.
+          for (long long s = 0; s < b; s += k) {
+            const long long ks = std::min(k, b - s);
+            if (b_f > 0) {
+              node.dram_to_fpga(static_cast<std::uint64_t>(
+                  (b_f * ks + ks * cw) * 8));
+              node.fpga_submit(
+                  static_cast<double>(array.cycles(b_f, ks, cw)), "opMM");
+            }
+            if (b_p > 0) {
+              node.cpu_compute(node::CpuKernel::Dgemm,
+                               2.0 * static_cast<double>(b_p * ks * cw),
+                               "opMM");
+            }
+          }
+          // Functional compute (order-identical to the stripe stream).
+          if (b_f > 0) {
+            auto e_f = e.block(0, 0, b_f, cw);
+            auto c_f = c.block(0, 0, b_f, b);
+            if (use_soft_fp) {
+              array.multiply_accumulate_soft(c_f, dshare, e_f);
+            } else {
+              array.multiply_accumulate(c_f, dshare, e_f);
+            }
+            node.note_fpga_flops(2.0 * static_cast<double>(b_f * b * cw));
+          }
+          if (b_p > 0) {
+            linalg::gemm(c.block(b_f, 0, b_p, b), dshare,
+                         e.block(b_f, 0, b_p, cw));
+          }
+          if (b_f > 0) {
+            node.fpga_wait();
+            node.read_fpga_results("opMM partial product");
+          }
+          const int dst = owner_of(u, v, p);
+          if (dst == me) {
+            // This worker owns the block: apply its own opMS share locally.
+            linalg::matrix_sub(blk(u, v).block(0, c0, b, cw), e.view());
+            node.cpu_compute(node::CpuKernel::MemBound,
+                             static_cast<double>(b * cw), "opMS");
+          } else {
+            net::send_matrix(comm, dst, make_tag(Chan::EShare, t, j),
+                             e.view());
+          }
+        }
+      }
+
+      // --- opMS: every rank applies the updates for the blocks it owns
+      // (its own worker share, if any, was already applied in place).
+      for (long long j = 0; j < total; ++j) {
+        const auto [u, v] = order[static_cast<std::size_t>(j)];
+        if (owner_of(u, v, p) != me) continue;
+        for (int r = 0; r < p; ++r) {
+          if (r == panel || r == me) continue;
+          const int widx = r < panel ? r : r - 1;
+          const auto [c0, c1] = worker_columns(b, workers, widx);
+          Matrix e = net::recv_matrix(comm, r, make_tag(Chan::EShare, t, j));
+          linalg::matrix_sub(blk(u, v).block(0, c0, b, c1 - c0), e.view());
+          node.cpu_compute(node::CpuKernel::MemBound,
+                           static_cast<double>(b * (c1 - c0)), "opMS");
+        }
+      }
+      comm.barrier();
+    }
+
+    // Record simulated stats before the (untimed) gather.
+    RankStats& st = stats[static_cast<std::size_t>(me)];
+    st.finish = comm.clock().now();
+    st.cpu_busy = node.cpu_busy_total();
+    st.fpga_busy = node.fpga_busy_total();
+    st.cpu_flops = node.cpu_flops_total();
+    st.fpga_flops = node.fpga_flops_total();
+    st.bytes_sent = comm.bytes_sent();
+    st.coordination = node.coordination_events();
+
+    // Gather the factored blocks at rank 0.
+    if (me == 0) {
+      for (long long u = 0; u < nb; ++u) {
+        for (long long v = 0; v < nb; ++v) {
+          const int o = owner_of(u, v, p);
+          Matrix block = o == 0
+                             ? std::move(blk(u, v))
+                             : net::recv_matrix(
+                                   comm, o, make_tag(Chan::Gather, 0,
+                                                     u * nb + v));
+          linalg::copy(block.view(), factored.block(u * b, v * b, b, b));
+        }
+      }
+    } else {
+      for (auto& [key, block] : blocks) {
+        net::send_matrix(comm, 0, make_tag(Chan::Gather, 0,
+                                           key.first * nb + key.second),
+                         block.view());
+      }
+    }
+  });
+
+  if (trace != nullptr) {
+    for (auto& rt : rank_traces) trace->merge_from(std::move(rt));
+  }
+  if (message_log != nullptr) *message_log = world.message_log();
+
+  LuFunctionalResult res;
+  res.factored = std::move(factored);
+  res.partition = part;
+  res.l = l;
+  res.run.design = std::string("LU/") + to_string(cfg.mode) + "/functional";
+  for (const RankStats& st : stats) {
+    res.run.seconds = std::max(res.run.seconds, st.finish);
+    res.run.cpu_busy_seconds += st.cpu_busy;
+    res.run.fpga_busy_seconds += st.fpga_busy;
+    res.run.cpu_flops += st.cpu_flops;
+    res.run.fpga_flops += st.fpga_flops;
+    res.run.bytes_on_network += st.bytes_sent;
+    res.run.coordination_events += st.coordination;
+  }
+  res.run.total_flops = res.run.cpu_flops + res.run.fpga_flops;
+  return res;
+}
+
+}  // namespace rcs::core

@@ -1,0 +1,89 @@
+#include "core/predict.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcs::core {
+
+Prediction predict_lu(const SystemParams& sys, const LuConfig& cfg) {
+  RCS_CHECK_MSG(cfg.n > 0 && cfg.b > 0 && cfg.n % cfg.b == 0,
+                "LU prediction requires b | n");
+  long long b_f = cfg.b_f;
+  if (b_f < 0) {
+    switch (cfg.mode) {
+      case DesignMode::Hybrid: b_f = solve_mm_partition(sys, cfg.b).b_f; break;
+      case DesignMode::ProcessorOnly: b_f = 0; break;
+      case DesignMode::FpgaOnly: b_f = cfg.b; break;
+    }
+  }
+  const MmPartition part = mm_partition_at(sys, cfg.b, b_f);
+  const PanelTimes pt = panel_times(sys, cfg.b);
+  const long long nb = cfg.n / cfg.b;
+  const long long k = sys.mm_fpga.pe_count;
+  const double stripes = static_cast<double>(cfg.b) / static_cast<double>(k);
+  const double b2 = static_cast<double>(cfg.b) * static_cast<double>(cfg.b);
+  const double b3 = b2 * static_cast<double>(cfg.b);
+  const double p1 = static_cast<double>(sys.p - 1);
+  const double r_gemm = sys.gpp.sustained(node::CpuKernel::Dgemm);
+
+  Prediction pr;
+  for (long long t = 0; t < nb; ++t) {
+    const double m = static_cast<double>(nb - 1 - t);
+    const double panel_cpu = pt.t_lu + m * (pt.t_opl + pt.t_opu);
+    double worker_cpu = 0.0;
+    double fpga = 0.0;
+    switch (cfg.mode) {
+      case DesignMode::Hybrid:
+        worker_cpu = m * m * stripes * part.t_p_stripe;
+        fpga = m * m * stripes * part.t_f_stripe;
+        break;
+      case DesignMode::ProcessorOnly:
+        worker_cpu = m * m * 2.0 * b3 / (p1 * r_gemm);
+        break;
+      case DesignMode::FpgaOnly:
+        fpga = m * m * stripes * part.t_f_stripe;
+        break;
+    }
+    // The panel node and the workers run concurrently; per iteration the
+    // processor side's contribution is the slower of the two roles.
+    pr.t_tp += std::max(panel_cpu, worker_cpu);
+    pr.t_tf += fpga;
+    pr.total_flops += (2.0 / 3.0) * b3 + m * 2.0 * b3 +
+                      m * m * (2.0 * b3 + b2);
+  }
+  return pr;
+}
+
+Prediction predict_fw(const SystemParams& sys, const FwConfig& cfg) {
+  RCS_CHECK_MSG(cfg.n > 0 && cfg.b > 0 && cfg.n % (cfg.b * sys.p) == 0,
+                "FW prediction requires b*p | n");
+  long long l1 = cfg.l1;
+  const FwPartition probe = fw_partition_at(sys, cfg.n, cfg.b, 0);
+  if (l1 < 0) {
+    switch (cfg.mode) {
+      case DesignMode::Hybrid:
+        l1 = solve_fw_partition(sys, cfg.n, cfg.b).l1;
+        break;
+      case DesignMode::ProcessorOnly: l1 = probe.ops_per_phase; break;
+      case DesignMode::FpgaOnly: l1 = 0; break;
+    }
+  }
+  const FwPartition part = fw_partition_at(sys, cfg.n, cfg.b, l1);
+  const long long nb = cfg.n / cfg.b;
+  const double b3 = static_cast<double>(cfg.b) * static_cast<double>(cfg.b) *
+                    static_cast<double>(cfg.b);
+
+  Prediction pr;
+  // Per iteration: nb waves of l1 CPU tasks + l2 FPGA tasks per node, plus
+  // op1 on the owner's processor (negligible but on the CPU path).
+  const double waves = static_cast<double>(nb);
+  pr.t_tp = waves * waves *
+                (static_cast<double>(part.l1) * part.t_p) +
+            waves * (cfg.mode == DesignMode::FpgaOnly ? part.t_f : part.t_p);
+  pr.t_tf = waves * waves * (static_cast<double>(part.l2) * part.t_f);
+  pr.total_flops = waves * waves * waves * 2.0 * b3;  // = 2 n^3
+  return pr;
+}
+
+}  // namespace rcs::core

@@ -1,0 +1,34 @@
+#pragma once
+// The design model as a performance predictor (§4.5): after partitioning,
+// total processor time T_tp and FPGA time T_tf are accumulated along the
+// task dependency structure, assuming every data transfer and network
+// communication overlaps the FPGA's computation. The predicted latency is
+// max(T_tp, T_tf). Section 6.2 reports the implementations reach >= 86%
+// (LU) and >= 96% (FW) of this prediction; the fig9 bench reproduces that
+// comparison against the schedule simulators.
+
+#include "core/fw_analytic.hpp"
+#include "core/lu_analytic.hpp"
+
+namespace rcs::core {
+
+/// Model prediction for one run.
+struct Prediction {
+  double t_tp = 0.0;          // total processor-side time (critical path)
+  double t_tf = 0.0;          // total FPGA-side time
+  double total_flops = 0.0;   // semantic flops of the application
+  double latency_seconds() const { return t_tp > t_tf ? t_tp : t_tf; }
+  double gflops() const {
+    const double t = latency_seconds();
+    return t > 0.0 ? total_flops / t / 1e9 : 0.0;
+  }
+};
+
+/// Predict the configured LU design (same resolution rules as lu_analytic:
+/// b_f / l of -1 are solved from the model).
+Prediction predict_lu(const SystemParams& sys, const LuConfig& cfg);
+
+/// Predict the configured Floyd–Warshall design.
+Prediction predict_fw(const SystemParams& sys, const FwConfig& cfg);
+
+}  // namespace rcs::core

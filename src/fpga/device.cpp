@@ -1,0 +1,59 @@
+#include "fpga/device.hpp"
+
+namespace rcs::fpga {
+
+DeviceConfig DeviceConfig::xc2vp50_matmul() {
+  DeviceConfig d;
+  d.name = "XC2VP50/matmul";
+  d.pe_count = 8;
+  d.clock_hz = 130e6;
+  d.flops_per_pe_cycle = 2;
+  d.sram_bytes = 8ull << 20;
+  d.bram_bytes = 522ull << 10;
+  d.dram_bytes_per_s = 1.04e9;  // one 8-byte word per 130 MHz cycle
+  return d;
+}
+
+DeviceConfig DeviceConfig::xc2vp50_floyd_warshall() {
+  DeviceConfig d;
+  d.name = "XC2VP50/floyd-warshall";
+  d.pe_count = 8;
+  d.clock_hz = 120e6;
+  d.flops_per_pe_cycle = 2;
+  d.sram_bytes = 8ull << 20;
+  d.bram_bytes = 522ull << 10;
+  d.dram_bytes_per_s = 0.96e9;  // one 8-byte word per 120 MHz cycle
+  return d;
+}
+
+DeviceConfig DeviceConfig::drc_virtex4_matmul() {
+  DeviceConfig d;
+  d.name = "DRC-Virtex4/matmul";
+  // Larger device, higher clock, HyperTransport access to DRAM at up to
+  // 6.4 GB/s (Section 3). PE count scaled with the larger fabric.
+  d.pe_count = 16;
+  d.clock_hz = 180e6;
+  d.flops_per_pe_cycle = 2;
+  d.sram_bytes = 64ull << 20;
+  d.bram_bytes = 1024ull << 10;
+  d.dram_bytes_per_s = 6.4e9;
+  return d;
+}
+
+void require_sram(const DeviceConfig& dev, std::uint64_t words_needed,
+                  const char* what) {
+  const std::uint64_t bytes = words_needed * 8;
+  RCS_CHECK_MSG(bytes <= dev.sram_bytes,
+                what << " needs " << bytes << " bytes of on-board SRAM but "
+                     << dev.name << " provides " << dev.sram_bytes);
+}
+
+void require_bram(const DeviceConfig& dev, std::uint64_t words_needed,
+                  const char* what) {
+  const std::uint64_t bytes = words_needed * 8;
+  RCS_CHECK_MSG(bytes <= dev.bram_bytes,
+                what << " needs " << bytes << " bytes of Block RAM but "
+                     << dev.name << " provides " << dev.bram_bytes);
+}
+
+}  // namespace rcs::fpga

@@ -1,0 +1,59 @@
+#pragma once
+// FPGA device model: the resources an accelerator design can draw on and the
+// rates at which it moves data. Mirrors the Xilinx Virtex-II Pro XC2VP50 in
+// the Cray XD1 compute blade (Section 3 of the paper): on-chip BRAM, four
+// banks of on-board QDR-II SRAM, and a RapidArray path to processor DRAM.
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rcs::fpga {
+
+/// Static description of one FPGA as configured with a particular design.
+/// `pe_count` (k) and `clock_hz` (F_f) are per-design outcomes of synthesis;
+/// the paper reports k = 8 at 130 MHz for the matrix multiplier and k = 8 at
+/// 120 MHz for the Floyd–Warshall kernel on the XC2VP50.
+struct DeviceConfig {
+  std::string name;
+  int pe_count = 8;            // k: processing elements configured
+  double clock_hz = 130e6;     // F_f: achieved design clock
+  int flops_per_pe_cycle = 2;  // each PE has one multiplier + one adder core
+  std::uint64_t sram_bytes = 8ull << 20;   // on-board SRAM allocated (8 MB)
+  std::uint64_t bram_bytes = 522ull << 10; // XC2VP50 total Block RAM (~522 KB)
+  double dram_bytes_per_s = 1.04e9;        // B_d: word/cycle from node DRAM
+
+  /// O_f: floating-point operations per clock across all PEs.
+  int ops_per_cycle() const { return pe_count * flops_per_pe_cycle; }
+
+  /// O_f * F_f: the design's peak floating-point rate.
+  double peak_flops() const { return ops_per_cycle() * clock_hz; }
+
+  /// Seconds for `cycles` design clock cycles.
+  double seconds_for_cycles(double cycles) const {
+    RCS_DASSERT(cycles >= 0.0);
+    return cycles / clock_hz;
+  }
+
+  /// XC2VP50 configured with the matrix-multiply array of reference [21],
+  /// as measured in Section 6.1 (k = 8, 130 MHz, B_d = 1.04 GB/s).
+  static DeviceConfig xc2vp50_matmul();
+
+  /// XC2VP50 configured with the Floyd–Warshall kernel of reference [18],
+  /// as measured in Section 6.1 (k = 8, 120 MHz, B_d = 0.96 GB/s).
+  static DeviceConfig xc2vp50_floyd_warshall();
+
+  /// A DRC Virtex-4 module as attached to Cray XT3 (Section 3): used by the
+  /// capacity-planning example for what-if prediction, not by the paper's
+  /// measurements.
+  static DeviceConfig drc_virtex4_matmul();
+};
+
+/// Throws rcs::Error when a design's memory demand exceeds the device.
+void require_sram(const DeviceConfig& dev, std::uint64_t words_needed,
+                  const char* what);
+void require_bram(const DeviceConfig& dev, std::uint64_t words_needed,
+                  const char* what);
+
+}  // namespace rcs::fpga

@@ -1,0 +1,52 @@
+#include "fpga/fw_kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace rcs::fpga {
+
+FwKernel::FwKernel(DeviceConfig dev) : dev_(std::move(dev)) {
+  RCS_CHECK_MSG(dev_.pe_count > 0, "FwKernel needs at least one PE");
+  require_bram(dev_,
+               2ull * static_cast<std::uint64_t>(dev_.pe_count) *
+                   static_cast<std::uint64_t>(dev_.pe_count),
+               "floyd-warshall kernel");
+}
+
+long long FwKernel::cycles(long long b) const {
+  RCS_CHECK_MSG(b >= 0, "negative block size");
+  return 2 * b * b * b / dev_.pe_count;
+}
+
+void FwKernel::require_fits(long long b) const {
+  require_sram(dev_, sram_words(b), "floyd-warshall block staging");
+}
+
+template <typename Backend>
+void FwKernel::run_impl(Span2D<double> c, Span2D<const double> a,
+                        Span2D<const double> b) const {
+  RCS_CHECK_MSG(a.cols() == b.rows() && c.rows() == a.rows() &&
+                    c.cols() == b.cols(),
+                "fw block shape mismatch");
+  require_fits(static_cast<long long>(c.rows()));
+  const std::size_t kk = a.cols();
+  for (std::size_t k = 0; k < kk; ++k) {
+    for (std::size_t i = 0; i < c.rows(); ++i) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < c.cols(); ++j) {
+        c(i, j) = Backend::relax(c(i, j), aik, b(k, j));
+      }
+    }
+  }
+}
+
+void FwKernel::run_block(Span2D<double> c, Span2D<const double> a,
+                         Span2D<const double> b) const {
+  run_impl<fparith::NativeFp>(c, a, b);
+}
+
+void FwKernel::run_block_soft(Span2D<double> c, Span2D<const double> a,
+                              Span2D<const double> b) const {
+  run_impl<fparith::SoftFp>(c, a, b);
+}
+
+}  // namespace rcs::fpga

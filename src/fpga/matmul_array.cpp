@@ -1,0 +1,93 @@
+#include "fpga/matmul_array.hpp"
+
+#include "common/error.hpp"
+
+namespace rcs::fpga {
+
+MatMulArray::MatMulArray(DeviceConfig dev) : dev_(std::move(dev)) {
+  RCS_CHECK_MSG(dev_.pe_count > 0, "MatMulArray needs at least one PE");
+  // Each PE double-buffers a k x k tile of C and a k-row slice of D in
+  // Block RAM (2 k^2 words, as in [21]).
+  require_bram(dev_,
+               2ull * static_cast<std::uint64_t>(dev_.pe_count) *
+                   static_cast<std::uint64_t>(dev_.pe_count),
+               "matmul PE array");
+}
+
+long long MatMulArray::cycles(long long m, long long inner,
+                              long long n) const {
+  RCS_CHECK_MSG(m >= 0 && inner >= 0 && n >= 0, "negative matmul extent");
+  if (m == 0 || inner == 0 || n == 0) return 0;
+  const long long k = dev_.pe_count;
+  auto ceil_div = [](long long a, long long b) { return (a + b - 1) / b; };
+  const long long tiles = ceil_div(m, k) * ceil_div(inner, k) * ceil_div(n, k);
+  return tiles * k * k;
+}
+
+template <typename Backend>
+void MatMulArray::mac_impl(Span2D<const double> c, Span2D<const double> d,
+                           Span2D<double> e) const {
+  RCS_CHECK_MSG(c.cols() == d.rows() && c.rows() == e.rows() &&
+                    d.cols() == e.cols(),
+                "matmul shape mismatch");
+  require_sram(dev_, sram_words(static_cast<long long>(e.rows()),
+                                static_cast<long long>(e.cols())),
+               "matmul result tile");
+  // Dot products accumulate in ascending inner-index order, exactly like the
+  // streaming PEs (and the host gemm).
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    for (std::size_t j = 0; j < e.cols(); ++j) {
+      double acc = e(i, j);
+      for (std::size_t l = 0; l < c.cols(); ++l) {
+        acc = Backend::mac(acc, c(i, l), d(l, j));
+      }
+      e(i, j) = acc;
+    }
+  }
+}
+
+void MatMulArray::multiply_accumulate(Span2D<const double> c,
+                                      Span2D<const double> d,
+                                      Span2D<double> e) const {
+  mac_impl<fparith::NativeFp>(c, d, e);
+}
+
+void MatMulArray::multiply_accumulate_soft(Span2D<const double> c,
+                                           Span2D<const double> d,
+                                           Span2D<double> e) const {
+  mac_impl<fparith::SoftFp>(c, d, e);
+}
+
+template <typename Backend>
+void MatMulArray::mac_nt_impl(Span2D<const double> c, Span2D<const double> d,
+                              Span2D<double> e) const {
+  RCS_CHECK_MSG(c.cols() == d.cols() && c.rows() == e.rows() &&
+                    d.rows() == e.cols(),
+                "matmul-nt shape mismatch");
+  require_sram(dev_, sram_words(static_cast<long long>(e.rows()),
+                                static_cast<long long>(e.cols())),
+               "matmul-nt result tile");
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    for (std::size_t j = 0; j < e.cols(); ++j) {
+      double acc = e(i, j);
+      for (std::size_t l = 0; l < c.cols(); ++l) {
+        acc = Backend::mac(acc, c(i, l), d(j, l));
+      }
+      e(i, j) = acc;
+    }
+  }
+}
+
+void MatMulArray::multiply_accumulate_nt(Span2D<const double> c,
+                                         Span2D<const double> d,
+                                         Span2D<double> e) const {
+  mac_nt_impl<fparith::NativeFp>(c, d, e);
+}
+
+void MatMulArray::multiply_accumulate_nt_soft(Span2D<const double> c,
+                                              Span2D<const double> d,
+                                              Span2D<double> e) const {
+  mac_nt_impl<fparith::SoftFp>(c, d, e);
+}
+
+}  // namespace rcs::fpga

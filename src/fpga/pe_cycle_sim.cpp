@@ -1,0 +1,60 @@
+#include "fpga/pe_cycle_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rcs::fpga {
+
+PeCycleStats simulate_pe_array(int k, long long tiles,
+                               fparith::CorePipeline multiplier,
+                               fparith::CorePipeline adder) {
+  RCS_CHECK_MSG(k >= 1, "need at least one PE");
+  RCS_CHECK_MSG(tiles >= 1, "need at least one tile");
+  RCS_CHECK_MSG(multiplier.issue_interval == 1 && adder.issue_interval == 1,
+                "the [21] array requires fully pipelined cores");
+
+  PeCycleStats stats;
+  // Hazard analysis, identical on every PE (PE j owns column j of E and is
+  // mirrored by the others, so one PE's schedule is the array's schedule):
+  //
+  //  * Issue: per cycle one C element streams in; the PE multiplies it by a
+  //    stored D element. A tile contributes k^2 multiplies; `tiles` tiles
+  //    issue back to back: the last multiply issues at cycle
+  //    tiles*k^2 - 1 and retires Lm cycles later.
+  const long long issues = tiles * static_cast<long long>(k) *
+                           static_cast<long long>(k);
+  const long long last_mult_retire =
+      issues - 1 + multiplier.latency_cycles;
+
+  //  * Accumulation: element e_ij receives a term every k cycles (the
+  //    stream is l-major). With the adder La cycles deep, consecutive adds
+  //    to the same running sum would stall; [21]-style designs bank the
+  //    partials: B = ceil(La / k) independent accumulators per element
+  //    absorb the stream with zero stalls (bank b only sees a new term
+  //    every B*k >= La cycles).
+  const int banks = static_cast<int>(
+      (adder.latency_cycles + k - 1) / k);
+  stats.partial_banks = std::max(banks, 1);
+
+  //  * Each add issues the cycle its multiply retires (the adder port is
+  //    free: one add per PE per cycle, same rate as the multiplier). The
+  //    last streaming add retires at last_mult_retire + La.
+  const long long last_stream_add = last_mult_retire + adder.latency_cycles;
+
+  //  * Drain: the B partial banks per element reduce pairwise; ceil(log2 B)
+  //    rounds of La each. (For B = 1 nothing remains.)
+  long long reduce_rounds = 0;
+  for (int b = stats.partial_banks; b > 1; b = (b + 1) / 2) ++reduce_rounds;
+  const long long reduce_cycles =
+      reduce_rounds * static_cast<long long>(adder.latency_cycles);
+
+  stats.steady_cycles = issues;  // one issue per PE per cycle, no stalls
+  stats.total_cycles = last_stream_add + reduce_cycles + 1;
+  stats.drain_cycles = stats.total_cycles - stats.steady_cycles;
+  stats.multiplier_utilization =
+      static_cast<double>(issues) / static_cast<double>(stats.total_cycles);
+  return stats;
+}
+
+}  // namespace rcs::fpga

@@ -1,0 +1,121 @@
+#include "fpga/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcs::fpga {
+
+namespace {
+// Routable utilization cap: beyond this fraction of slices, place-and-route
+// of era tools failed to close timing at all.
+constexpr double kUtilizationCap = 0.85;
+// Clock derating per unit of slice utilization (routing congestion).
+constexpr double kCongestionSlope = 0.23;
+
+double derated_clock(double core_hz, double fabric_hz, double utilization) {
+  const double base = std::min(core_hz, fabric_hz);
+  return base * (1.0 - kCongestionSlope * utilization);
+}
+}  // namespace
+
+ResourceBudget ResourceBudget::xc2vp50() {
+  return ResourceBudget{"XC2VP50", 23616, 232, 232, 200e6};
+}
+
+ResourceBudget ResourceBudget::virtex4_lx100() {
+  // DSP48 pairs counted as MULT18-equivalents.
+  return ResourceBudget{"Virtex4-LX100", 49152, 240, 192, 260e6};
+}
+
+ResourceBudget ResourceBudget::virtex4_lx200() {
+  return ResourceBudget{"Virtex4-LX200", 89088, 336, 288, 260e6};
+}
+
+CoreCost CoreCost::dp_adder() { return CoreCost{980, 0, 170e6}; }
+CoreCost CoreCost::dp_multiplier() { return CoreCost{760, 9, 160e6}; }
+CoreCost CoreCost::dp_comparator() { return CoreCost{240, 0, 220e6}; }
+CoreCost CoreCost::dp_divider() { return CoreCost{2400, 0, 140e6}; }
+CoreCost CoreCost::dp_sqrt() { return CoreCost{2100, 0, 140e6}; }
+
+namespace {
+
+SynthesisResult fit_pes(const ResourceBudget& dev, long fixed_slices,
+                        long slices_per_pe, long mult18_per_pe,
+                        long bram_blocks_per_pe, double core_hz) {
+  RCS_CHECK_MSG(dev.slices > 0, "device has no slices: " << dev.name);
+  const double cap = kUtilizationCap * static_cast<double>(dev.slices);
+  long k = static_cast<long>((cap - static_cast<double>(fixed_slices)) /
+                             static_cast<double>(slices_per_pe));
+  if (mult18_per_pe > 0) {
+    k = std::min(k, dev.mult18 / mult18_per_pe);
+  }
+  if (bram_blocks_per_pe > 0) {
+    k = std::min(k, dev.bram_blocks / bram_blocks_per_pe);
+  }
+  k = std::max<long>(k, 0);
+  // PE arrays tile in powers-of-two-friendly sizes; round down to a
+  // multiple of 4 above 4 (the designs in [21]/[18] scale k in such steps).
+  if (k > 4) k -= k % 4;
+
+  SynthesisResult res;
+  res.pe_count = static_cast<int>(k);
+  res.slice_utilization =
+      (static_cast<double>(fixed_slices) +
+       static_cast<double>(k) * static_cast<double>(slices_per_pe)) /
+      static_cast<double>(dev.slices);
+  res.mult18_used = k * mult18_per_pe;
+  res.bram_blocks_used = k * bram_blocks_per_pe;
+  res.clock_hz = derated_clock(core_hz, dev.fabric_hz, res.slice_utilization);
+  return res;
+}
+
+}  // namespace
+
+SynthesisResult synthesize_matmul(const ResourceBudget& dev) {
+  // Per PE: one DP multiplier + one DP adder + ~350 slices of PE control
+  // and operand registers; two double-buffered k x k tiles live in two
+  // Block RAMs per PE. Shared: stream controller + DRAM interface.
+  const CoreCost add = CoreCost::dp_adder();
+  const CoreCost mul = CoreCost::dp_multiplier();
+  const long per_pe = add.slices + mul.slices + 350;
+  const long fixed = 2100;
+  const double core_hz = std::min(add.max_hz, mul.max_hz);
+  return fit_pes(dev, fixed, per_pe, mul.mult18, 2, core_hz);
+}
+
+SynthesisResult synthesize_floyd_warshall(const ResourceBudget& dev) {
+  // Per PE: one DP adder + one DP comparator + ~330 slices of sweep logic;
+  // the shared block-sweep datapath and SRAM interface of [18] are heavier
+  // than the matmul streamer. The comparator result feeds a select, putting
+  // the adder+compare chain on the critical path (slower base clock).
+  const CoreCost add = CoreCost::dp_adder();
+  const CoreCost cmp = CoreCost::dp_comparator();
+  const long per_pe = add.slices + cmp.slices + 330;
+  const long fixed = 4300;
+  const double core_hz = 143e6;  // adder -> comparator -> select chain
+  return fit_pes(dev, fixed, per_pe, 0, 2, core_hz);
+}
+
+DeviceConfig to_device_config(const ResourceBudget& dev,
+                              const SynthesisResult& synth,
+                              const std::string& kernel_name,
+                              std::uint64_t sram_bytes,
+                              double dram_path_bytes_per_s) {
+  RCS_CHECK_MSG(synth.pe_count > 0,
+                "kernel does not fit on " << dev.name);
+  DeviceConfig cfg;
+  cfg.name = dev.name + "/" + kernel_name;
+  cfg.pe_count = synth.pe_count;
+  cfg.clock_hz = synth.clock_hz;
+  cfg.flops_per_pe_cycle = 2;
+  cfg.sram_bytes = sram_bytes;
+  cfg.bram_bytes = static_cast<std::uint64_t>(dev.bram_blocks) * 18432 / 8;
+  // One 8-byte word per design clock, unless the board link is slower.
+  cfg.dram_bytes_per_s =
+      std::min(synth.clock_hz * 8.0, dram_path_bytes_per_s);
+  return cfg;
+}
+
+}  // namespace rcs::fpga

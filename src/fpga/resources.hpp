@@ -1,0 +1,82 @@
+#pragma once
+// FPGA resource accounting and a synthesis estimator.
+//
+// The paper reports synthesis outcomes ("at most 8 PEs can be configured",
+// "our implementation achieved 120 MHz") without the derivation. This module
+// reconstructs them from first principles: a device is a budget of slices,
+// 18-Kbit Block RAMs and MULT18 blocks; each floating-point core costs a
+// known amount (era figures from the core library of reference [8]); a
+// kernel's PE count is what fits under a routable utilization cap, and the
+// achievable clock degrades with utilization (routing congestion).
+//
+// The constants are calibrated so the XC2VP50 yields the paper's
+// k = 8 @ ~130 MHz for the matrix-multiply array and k = 8 @ ~120 MHz for
+// the Floyd–Warshall kernel; the estimator then extrapolates to other
+// devices (the capacity-planning example uses it for the Virtex-4 parts).
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/device.hpp"
+
+namespace rcs::fpga {
+
+/// Raw resources of one FPGA part.
+struct ResourceBudget {
+  std::string name;
+  long slices = 0;        // logic slices (2 LUT + 2 FF each, V2Pro-era)
+  long bram_blocks = 0;   // 18-Kbit Block RAMs
+  long mult18 = 0;        // 18x18 hardware multipliers
+  double fabric_hz = 0;   // clock of a small, uncongested design
+
+  /// Xilinx Virtex-II Pro XC2VP50 (the XD1 accelerator).
+  static ResourceBudget xc2vp50();
+  /// Xilinx Virtex-4 LX100-class part (DRC module on XT3).
+  static ResourceBudget virtex4_lx100();
+  /// Xilinx Virtex-4 LX200-class part (SGI RASC RC100 blade).
+  static ResourceBudget virtex4_lx200();
+};
+
+/// Cost of one instantiated core (reference [8]-era double-precision cores).
+struct CoreCost {
+  long slices = 0;
+  long mult18 = 0;
+  double max_hz = 0;  // standalone achievable clock
+
+  static CoreCost dp_adder();
+  static CoreCost dp_multiplier();
+  static CoreCost dp_comparator();
+  static CoreCost dp_divider();
+  static CoreCost dp_sqrt();
+};
+
+/// Outcome of estimating a kernel on a device.
+struct SynthesisResult {
+  int pe_count = 0;        // k
+  double clock_hz = 0;     // F_f after congestion derating
+  double slice_utilization = 0.0;  // fraction of the device's slices
+  long bram_blocks_used = 0;
+  long mult18_used = 0;
+
+  /// O_f x F_f of the synthesized design (2 flops per PE per cycle).
+  double peak_flops() const { return 2.0 * pe_count * clock_hz; }
+};
+
+/// Estimate the matrix-multiply PE array [21] (per PE: one multiplier, one
+/// adder, k x k double-buffered BRAM tiles).
+SynthesisResult synthesize_matmul(const ResourceBudget& dev);
+
+/// Estimate the Floyd–Warshall kernel [18] (per PE: one adder, one
+/// comparator; a heavier shared sweep datapath).
+SynthesisResult synthesize_floyd_warshall(const ResourceBudget& dev);
+
+/// Convert a synthesis estimate into a DeviceConfig usable by the kernels
+/// (B_d = one 8-byte word per design clock, as on the XD1 RapidArray path,
+/// capped at `dram_path_bytes_per_s` when the board's link is slower).
+DeviceConfig to_device_config(const ResourceBudget& dev,
+                              const SynthesisResult& synth,
+                              const std::string& kernel_name,
+                              std::uint64_t sram_bytes,
+                              double dram_path_bytes_per_s);
+
+}  // namespace rcs::fpga

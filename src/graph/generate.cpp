@@ -1,0 +1,55 @@
+#include "graph/generate.hpp"
+
+#include "common/rng.hpp"
+#include "graph/floyd_warshall.hpp"
+
+namespace rcs::graph {
+
+linalg::Matrix random_digraph(std::size_t n, std::uint64_t seed,
+                              double edge_prob, double w_lo, double w_hi) {
+  Rng rng(seed);
+  linalg::Matrix d(n, n, kNoEdge);
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, i) = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (edge_prob >= 1.0 || rng.bernoulli(edge_prob)) {
+        d(i, j) = rng.uniform(w_lo, w_hi);
+      }
+    }
+  }
+  return d;
+}
+
+linalg::Matrix grid_road_network(std::size_t r, std::size_t c,
+                                 std::uint64_t seed,
+                                 std::size_t highway_count) {
+  Rng rng(seed);
+  const std::size_t n = r * c;
+  linalg::Matrix d(n, n, kNoEdge);
+  auto idx = [c](std::size_t i, std::size_t j) { return i * c + j; };
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = 0.0;
+  auto street = [&](std::size_t u, std::size_t v) {
+    const double len = rng.uniform(0.2, 2.0);
+    d(u, v) = len;
+    d(v, u) = len;
+  };
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (j + 1 < c) street(idx(i, j), idx(i, j + 1));
+      if (i + 1 < r) street(idx(i, j), idx(i + 1, j));
+    }
+  }
+  for (std::size_t h = 0; h < highway_count && n > 1; ++h) {
+    const std::size_t u = rng.uniform_index(n);
+    std::size_t v = rng.uniform_index(n);
+    if (v == u) v = (v + 1) % n;
+    // Highways are fast: shorter than the typical grid detour.
+    const double len = rng.uniform(0.5, 1.5);
+    d(u, v) = std::min(d(u, v), len);
+    d(v, u) = std::min(d(v, u), len);
+  }
+  return d;
+}
+
+}  // namespace rcs::graph

@@ -1,0 +1,25 @@
+#pragma once
+// Graph workload generators for the all-pairs shortest-paths experiments.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace rcs::graph {
+
+/// Dense random digraph: every ordered pair (i, j), i != j, gets an edge with
+/// probability `edge_prob`; present edges get a uniform weight in
+/// [w_lo, w_hi). Missing edges are kNoEdge; the diagonal is 0.
+linalg::Matrix random_digraph(std::size_t n, std::uint64_t seed,
+                              double edge_prob = 1.0, double w_lo = 1.0,
+                              double w_hi = 10.0);
+
+/// Road-network-like workload: an r x c grid of intersections with
+/// bidirectional street segments of random positive length, plus a few
+/// random "highway" shortcuts. Returns the (r*c) x (r*c) distance matrix.
+/// Vertex (i, j) has index i*c + j.
+linalg::Matrix grid_road_network(std::size_t r, std::size_t c,
+                                 std::uint64_t seed,
+                                 std::size_t highway_count = 8);
+
+}  // namespace rcs::graph

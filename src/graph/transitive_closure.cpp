@@ -1,0 +1,83 @@
+#include "graph/transitive_closure.hpp"
+
+#include <cmath>
+
+#include "graph/floyd_warshall.hpp"
+
+namespace rcs::graph {
+
+std::size_t BitMatrix::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : bits_) total += __builtin_popcountll(w);
+  return total;
+}
+
+void transitive_closure(BitMatrix& reach) {
+  const std::size_t n = reach.size();
+  const std::size_t wpr = reach.words_per_row();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t* rk = reach.row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach.get(i, k)) continue;
+      std::uint64_t* ri = reach.row(i);
+      for (std::size_t w = 0; w < wpr; ++w) ri[w] |= rk[w];
+    }
+  }
+}
+
+void tc_block(BitMatrix& m, std::size_t bb, std::size_t cr0, std::size_t cw0,
+              std::size_t wb, std::size_t ar0, std::size_t ac0,
+              std::size_t br0) {
+  for (std::size_t k = 0; k < bb; ++k) {
+    const std::uint64_t* bk = m.row(br0 + k) + cw0;
+    for (std::size_t i = 0; i < bb; ++i) {
+      if (!m.get(ar0 + i, ac0 + k)) continue;
+      std::uint64_t* ci = m.row(cr0 + i) + cw0;
+      for (std::size_t w = 0; w < wb; ++w) ci[w] |= bk[w];
+    }
+  }
+}
+
+void blocked_transitive_closure(BitMatrix& reach, std::size_t b) {
+  const std::size_t n = reach.size();
+  RCS_CHECK_MSG(b > 0 && b % 64 == 0,
+                "blocked transitive closure needs 64 | b, got b = " << b);
+  RCS_CHECK_MSG(n % b == 0, "block size " << b << " must divide n = " << n);
+  const std::size_t nb = n / b;
+  const std::size_t wb = b / 64;  // words per block-column window
+  for (std::size_t t = 0; t < nb; ++t) {
+    const std::size_t tr = t * b;
+    const std::size_t tw = t * wb;
+    // op1: diagonal block (C = A = B = block (t, t)).
+    tc_block(reach, b, tr, tw, wb, tr, tr, tr);
+    for (std::size_t q = 0; q < nb; ++q) {
+      if (q == t) continue;
+      // op21: row-t blocks (C = B = (t, q), A = (t, t)).
+      tc_block(reach, b, tr, q * wb, wb, tr, tr, tr);
+      // op22: column-t blocks (C = A = (q, t), B = (t, t)).
+      tc_block(reach, b, q * b, tw, wb, q * b, tr, tr);
+    }
+    // op3: the rest (C = (u, v), A = (u, t), B = (t, v)).
+    for (std::size_t u = 0; u < nb; ++u) {
+      if (u == t) continue;
+      for (std::size_t v = 0; v < nb; ++v) {
+        if (v == t) continue;
+        tc_block(reach, b, u * b, v * wb, wb, u * b, tr, tr);
+      }
+    }
+  }
+}
+
+BitMatrix adjacency_from_distances(const linalg::Matrix& d) {
+  RCS_CHECK_MSG(d.rows() == d.cols(), "square matrix required");
+  const std::size_t n = d.rows();
+  BitMatrix reach(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || std::isfinite(d(i, j))) reach.set(i, j);
+    }
+  }
+  return reach;
+}
+
+}  // namespace rcs::graph

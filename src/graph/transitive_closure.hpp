@@ -1,0 +1,86 @@
+#pragma once
+// Transitive closure — the boolean-semiring sibling of Floyd–Warshall that
+// the paper cites via Penner & Prasanna, "Cache-Friendly Implementations of
+// Transitive Closure" (PACT 2001 — reference [11]) as the optimized variant
+// beyond its scope. Provided here as a substrate extension: the same
+// blocked op1/op21/op22/op3 structure over (OR, AND) instead of (min, +),
+// with rows packed 64 vertices per word so one machine word processes 64
+// relaxations.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rcs::graph {
+
+/// Square boolean matrix with rows packed into 64-bit words.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// n x n matrix, all false.
+  explicit BitMatrix(std::size_t n)
+      : n_(n), words_per_row_((n + 63) / 64),
+        bits_(n * words_per_row_, 0) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  bool get(std::size_t r, std::size_t c) const {
+    RCS_DASSERT(r < n_ && c < n_);
+    return (row(r)[c / 64] >> (c % 64)) & 1u;
+  }
+  void set(std::size_t r, std::size_t c, bool v = true) {
+    RCS_DASSERT(r < n_ && c < n_);
+    const std::uint64_t mask = 1ull << (c % 64);
+    if (v) {
+      row(r)[c / 64] |= mask;
+    } else {
+      row(r)[c / 64] &= ~mask;
+    }
+  }
+
+  std::uint64_t* row(std::size_t r) {
+    return bits_.data() + r * words_per_row_;
+  }
+  const std::uint64_t* row(std::size_t r) const {
+    return bits_.data() + r * words_per_row_;
+  }
+
+  bool operator==(const BitMatrix& other) const = default;
+
+  /// Number of true entries.
+  std::size_t count() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// In-place Warshall transitive closure: reach[i][j] becomes true iff j is
+/// reachable from i along existing true entries. Set the diagonal
+/// beforehand for the reflexive closure.
+void transitive_closure(BitMatrix& reach);
+
+/// One blocked task over the boolean semiring, the analogue of fw_block:
+/// for each pivot k in [0, bb), every row i of the C block whose A entry
+/// (i, k) is set ORs the B block's row k into itself. Blocks are windows of
+/// `m`: C = rows [cr0, cr0+bb) x words [cw0, cw0+wb); A = rows
+/// [ar0, ar0+bb) x bit-columns [ac0, ac0+bb); B = rows [br0, br0+bb) x the
+/// same word window as C. Column windows are word-aligned (64 | block size).
+void tc_block(BitMatrix& m, std::size_t bb, std::size_t cr0, std::size_t cw0,
+              std::size_t wb, std::size_t ar0, std::size_t ac0,
+              std::size_t br0);
+
+/// In-place blocked transitive closure with block size `b` (a multiple of
+/// 64 that divides n); result identical to transitive_closure.
+void blocked_transitive_closure(BitMatrix& reach, std::size_t b);
+
+/// Adjacency (plus reflexive diagonal) from a distance matrix: entry true
+/// iff i == j or d(i, j) is finite.
+BitMatrix adjacency_from_distances(const linalg::Matrix& d);
+
+}  // namespace rcs::graph

@@ -1,0 +1,134 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcs::linalg {
+
+namespace {
+void check_gemm_shapes(Span2D<const double> a, Span2D<const double> b,
+                       Span2D<double> c) {
+  RCS_CHECK_MSG(a.cols() == b.rows() && a.rows() == c.rows() &&
+                    b.cols() == c.cols(),
+                "gemm shape mismatch: A " << a.rows() << "x" << a.cols()
+                                          << ", B " << b.rows() << "x"
+                                          << b.cols() << ", C " << c.rows()
+                                          << "x" << c.cols());
+}
+}  // namespace
+
+void gemm_naive(Span2D<const double> a, Span2D<const double> b,
+                Span2D<double> c) {
+  check_gemm_shapes(a, b, c);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      double acc = c(i, j);
+      for (std::size_t l = 0; l < a.cols(); ++l) acc += a(i, l) * b(l, j);
+      c(i, j) = acc;
+    }
+  }
+}
+
+void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
+  check_gemm_shapes(a, b, c);
+  // i-k-j loop order with small tiles: streams B rows and C rows, which is
+  // far friendlier to the cache than the naive i-j-k order. Accumulation
+  // order per C entry matches gemm_naive (l ascending), so results are
+  // bit-identical between the two (required by tests that cross-check the
+  // FPGA kernel against both).
+  constexpr std::size_t TI = 64, TK = 64, TJ = 256;
+  const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
+  for (std::size_t i0 = 0; i0 < m; i0 += TI) {
+    const std::size_t i1 = std::min(i0 + TI, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += TK) {
+      const std::size_t k1 = std::min(k0 + TK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += TJ) {
+        const std::size_t j1 = std::min(j0 + TJ, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          double* crow = c.row(i);
+          for (std::size_t l = k0; l < k1; ++l) {
+            const double av = a(i, l);
+            const double* brow = b.row(l);
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_overwrite(Span2D<const double> a, Span2D<const double> b,
+                    Span2D<double> c) {
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    double* row = c.row(i);
+    std::fill(row, row + c.cols(), 0.0);
+  }
+  gemm(a, b, c);
+}
+
+void trsm_left_lower_unit(Span2D<const double> l, Span2D<double> b) {
+  RCS_CHECK_MSG(l.rows() == l.cols(), "trsm: L must be square");
+  RCS_CHECK_MSG(l.rows() == b.rows(), "trsm: L/B shape mismatch");
+  const std::size_t n = l.rows();
+  const std::size_t m = b.cols();
+  // Forward substitution, row at a time: X[i] = B[i] - sum_{j<i} L[i,j] X[j].
+  for (std::size_t i = 0; i < n; ++i) {
+    double* bi = b.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double lij = l(i, j);
+      if (lij == 0.0) continue;
+      const double* bj = b.row(j);
+      for (std::size_t col = 0; col < m; ++col) bi[col] -= lij * bj[col];
+    }
+    // Unit diagonal: no divide.
+  }
+}
+
+void trsm_right_upper(Span2D<const double> u, Span2D<double> b) {
+  RCS_CHECK_MSG(u.rows() == u.cols(), "trsm: U must be square");
+  RCS_CHECK_MSG(u.cols() == b.cols(), "trsm: U/B shape mismatch");
+  const std::size_t n = u.rows();
+  // Solve X U = B row-wise: for each row x of B,
+  //   x[j] = (b[j] - sum_{i<j} x[i] U[i,j]) * (1 / U[j,j]).
+  // The reciprocal-multiply matches getrf_panel's Gaussian elimination
+  // bit-for-bit, so L10 blocks computed via this trsm (the distributed
+  // design's opL) equal the ones a monolithic panel factorization produces.
+  std::vector<double> inv(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = u(j, j);
+    RCS_CHECK_MSG(d != 0.0, "trsm: singular U (zero diagonal at " << j << ")");
+    inv[j] = 1.0 / d;
+  }
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    double* x = b.row(r);
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = x[j];
+      for (std::size_t i = 0; i < j; ++i) acc -= x[i] * u(i, j);
+      x[j] = acc * inv[j];
+    }
+  }
+}
+
+void matrix_sub(Span2D<double> a, Span2D<const double> b) {
+  RCS_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                "matrix_sub shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double* ar = a.row(r);
+    const double* br = b.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) ar[c] -= br[c];
+  }
+}
+
+void matrix_add(Span2D<double> a, Span2D<const double> b) {
+  RCS_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                "matrix_add shape mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double* ar = a.row(r);
+    const double* br = b.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) ar[c] += br[c];
+  }
+}
+
+}  // namespace rcs::linalg

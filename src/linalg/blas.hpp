@@ -1,0 +1,52 @@
+#pragma once
+// Dense BLAS-subset kernels used by the host ("software") side of the hybrid
+// designs — the stand-in for the ACML routines the paper calls (dgemm, dtrsm)
+// and for the elementwise update opMS.
+//
+// All kernels operate on (possibly strided) Span2D views so they compose with
+// the blocked algorithms without copies.
+
+#include "common/span2d.hpp"
+
+namespace rcs::linalg {
+
+/// C += A * B (naive triple loop; reference implementation for tests).
+void gemm_naive(Span2D<const double> a, Span2D<const double> b,
+                Span2D<double> c);
+
+/// C += A * B, cache-blocked (the production host dgemm substitute).
+void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c);
+
+/// C = A * B (zeroes C first, then gemm).
+void gemm_overwrite(Span2D<const double> a, Span2D<const double> b,
+                    Span2D<double> c);
+
+/// Solve L * X = B in place of B, with L lower-triangular and unit-diagonal
+/// (dtrsm side=Left, uplo=Lower, diag=Unit). Used by opU: U01 = L00^-1 A01.
+void trsm_left_lower_unit(Span2D<const double> l, Span2D<double> b);
+
+/// Solve X * U = B in place of B, with U upper-triangular (non-unit diagonal)
+/// (dtrsm side=Right, uplo=Upper, diag=NonUnit). Used by opL:
+/// L10 = A10 U00^-1.
+void trsm_right_upper(Span2D<const double> u, Span2D<double> b);
+
+/// A -= B elementwise — the paper's opMS task (Θ(b²), kept on the processor).
+void matrix_sub(Span2D<double> a, Span2D<const double> b);
+
+/// A += B elementwise.
+void matrix_add(Span2D<double> a, Span2D<const double> b);
+
+/// Number of floating-point operations counted for an m x k by k x n gemm
+/// (one multiply + one add per inner step, matching the paper's accounting).
+inline long long gemm_flops(long long m, long long k, long long n) {
+  return 2LL * m * k * n;
+}
+
+/// Flop count for a triangular solve with an n x n triangle and m right-hand
+/// side rows/columns.
+inline long long trsm_flops(long long n, long long m) { return 1LL * n * n * m; }
+
+/// Flop count for LU factorization of an n x n matrix (2/3 n^3 leading term).
+inline long long getrf_flops(long long n) { return 2LL * n * n * n / 3; }
+
+}  // namespace rcs::linalg

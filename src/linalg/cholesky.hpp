@@ -1,0 +1,48 @@
+#pragma once
+// Cholesky factorization (A = L L^T for symmetric positive definite A) —
+// the third dense factorization of the hybrid-linear-algebra family the
+// paper's companion work [22] targets. Provides the unblocked kernel, the
+// supporting triangular solve, the transposed-operand multiply the trailing
+// update needs, and the blocked right-looking algorithm the distributed
+// hybrid design mirrors block for block.
+
+#include <cstddef>
+
+#include "common/span2d.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rcs::linalg {
+
+/// In-place unblocked Cholesky of the lower triangle: on return the lower
+/// triangle of `a` (including the diagonal) holds L; the strict upper
+/// triangle is left untouched. Throws rcs::Error when a pivot is not
+/// positive (matrix not positive definite).
+void potrf_unblocked(Span2D<double> a);
+
+/// Solve X * L^T = B in place of B, with L lower-triangular (non-unit
+/// diagonal) — the Cholesky panel solve: L_ut = A_ut * L_tt^-T.
+void trsm_right_lower_transposed(Span2D<const double> l, Span2D<double> b);
+
+/// C += A * B^T with the same ascending-inner-index accumulation order as
+/// gemm, so hybrid CPU/FPGA splits of the trailing update are bit-stable.
+void gemm_nt(Span2D<const double> a, Span2D<const double> b,
+             Span2D<double> c);
+
+/// In-place blocked right-looking Cholesky with block size `bs`; updates
+/// only the lower triangle. Built from exactly the kernels above, so the
+/// distributed functional design reproduces it bit for bit.
+void potrf_blocked(Span2D<double> a, std::size_t bs);
+
+/// Relative residual ||A - L L^T||_F / ||A||_F over the lower triangle's
+/// implied symmetric matrix.
+double cholesky_residual(Span2D<const double> original,
+                         Span2D<const double> factored);
+
+/// Random symmetric positive definite matrix: M M^T scaled plus a dominant
+/// diagonal.
+Matrix spd_matrix(std::size_t n, std::uint64_t seed);
+
+/// Flops counted for an n x n Cholesky (n^3/3 leading term).
+inline long long potrf_flops(long long n) { return n * n * n / 3; }
+
+}  // namespace rcs::linalg

@@ -1,0 +1,28 @@
+#include "linalg/generate.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rcs::linalg {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                     double lo, double hi) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix diagonally_dominant(std::size_t n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += std::fabs(m(i, j));
+    m(i, i) = row_sum + 1.0;  // strictly dominant
+  }
+  return m;
+}
+
+}  // namespace rcs::linalg

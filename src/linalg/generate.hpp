@@ -1,0 +1,19 @@
+#pragma once
+// Workload generators for the matrix experiments.
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace rcs::linalg {
+
+/// Uniform random entries in [lo, hi).
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                     double lo = -1.0, double hi = 1.0);
+
+/// Random n x n matrix made strictly diagonally dominant, so LU without
+/// pivoting is well-defined and stable (the paper's "nonsingular, no
+/// pivoting needed" assumption).
+Matrix diagonally_dominant(std::size_t n, std::uint64_t seed);
+
+}  // namespace rcs::linalg

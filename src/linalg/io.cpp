@@ -1,0 +1,133 @@
+#include "linalg/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rcs::linalg {
+
+namespace {
+
+/// strtod without std::stod's exception on subnormals (glibc flags ERANGE
+/// for values below DBL_MIN even though they are representable).
+double parse_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  RCS_CHECK_MSG(end != s.c_str(), "bad numeric value: '" << s << "'");
+  return v;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Next non-comment, non-empty line; false at EOF.
+bool next_data_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_matrix_market(std::ostream& os, Span2D<const double> m) {
+  os << "%%MatrixMarket matrix array real general\n";
+  os << "% written by rcs-codesign\n";
+  os << m.rows() << " " << m.cols() << "\n";
+  os.precision(17);
+  // Array format is column-major.
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      os << m(r, c) << "\n";
+    }
+  }
+}
+
+void save_matrix_market(const std::string& path, Span2D<const double> m) {
+  std::ofstream os(path);
+  RCS_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_matrix_market(os, m);
+  RCS_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+Matrix read_matrix_market(std::istream& is, double missing) {
+  std::string banner;
+  RCS_CHECK_MSG(std::getline(is, banner) &&
+                    lower(banner).rfind("%%matrixmarket", 0) == 0,
+                "not a MatrixMarket stream (missing %%MatrixMarket banner)");
+  std::istringstream hdr(lower(banner));
+  std::string tag, object, format, field, symmetry;
+  hdr >> tag >> object >> format >> field >> symmetry;
+  RCS_CHECK_MSG(object == "matrix", "unsupported object '" << object << "'");
+  RCS_CHECK_MSG(format == "array" || format == "coordinate",
+                "unsupported format '" << format << "'");
+  RCS_CHECK_MSG(field == "real" || field == "integer",
+                "unsupported field '" << field << "'");
+  RCS_CHECK_MSG(symmetry == "general" || symmetry == "symmetric",
+                "unsupported symmetry '" << symmetry << "'");
+
+  std::string line;
+  RCS_CHECK_MSG(next_data_line(is, line), "missing size line");
+  std::istringstream size_line(line);
+
+  if (format == "array") {
+    std::size_t rows = 0, cols = 0;
+    size_line >> rows >> cols;
+    RCS_CHECK_MSG(rows > 0 && cols > 0, "bad array size line: " << line);
+    RCS_CHECK_MSG(symmetry == "general" || rows == cols,
+                  "symmetric array must be square");
+    Matrix m(rows, cols);
+    // Column-major stream of values. Symmetric files store the lower
+    // triangle only.
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t r0 = symmetry == "symmetric" ? c : 0;
+      for (std::size_t r = r0; r < rows; ++r) {
+        RCS_CHECK_MSG(next_data_line(is, line),
+                      "array data ends early at (" << r << "," << c << ")");
+        m(r, c) = parse_double(line);
+        if (symmetry == "symmetric") m(c, r) = m(r, c);
+      }
+    }
+    return m;
+  }
+
+  // Coordinate format.
+  std::size_t rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  RCS_CHECK_MSG(rows > 0 && cols > 0, "bad coordinate size line: " << line);
+  Matrix m(rows, cols, missing);
+  for (std::size_t e = 0; e < entries; ++e) {
+    RCS_CHECK_MSG(next_data_line(is, line),
+                  "coordinate data ends early at entry " << e);
+    std::istringstream entry(line);
+    std::size_t r = 0, c = 0;
+    double v = 0.0;
+    entry >> r >> c >> v;
+    RCS_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  "coordinate out of range: " << line);
+    m(r - 1, c - 1) = v;
+    if (symmetry == "symmetric") m(c - 1, r - 1) = v;
+  }
+  return m;
+}
+
+Matrix load_matrix_market(const std::string& path, double missing) {
+  std::ifstream is(path);
+  RCS_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  return read_matrix_market(is, missing);
+}
+
+}  // namespace rcs::linalg

@@ -1,0 +1,34 @@
+#pragma once
+// Matrix Market I/O — dense matrices in and out of the standard exchange
+// format, so workloads from the usual repositories (or from other tools)
+// can drive the designs directly.
+//
+// Supported on read: `matrix array real|integer general` (dense,
+// column-major per the spec) and `matrix coordinate real|integer
+// general|symmetric` (sparse entries; missing entries become `missing`).
+// Writing emits the dense array format.
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace rcs::linalg {
+
+/// Write `m` in MatrixMarket dense array format.
+void write_matrix_market(std::ostream& os, Span2D<const double> m);
+
+/// Write to a file; throws rcs::Error when the file cannot be opened.
+void save_matrix_market(const std::string& path, Span2D<const double> m);
+
+/// Read a MatrixMarket matrix. Sparse (coordinate) inputs are densified;
+/// entries not present in the file get `missing` (0.0 suits linear algebra,
+/// graph::kNoEdge suits distance matrices). Symmetric inputs are expanded.
+/// Throws rcs::Error on malformed input or unsupported variants
+/// (complex/pattern/hermitian/skew).
+Matrix read_matrix_market(std::istream& is, double missing = 0.0);
+
+/// Read from a file; throws rcs::Error when the file cannot be opened.
+Matrix load_matrix_market(const std::string& path, double missing = 0.0);
+
+}  // namespace rcs::linalg

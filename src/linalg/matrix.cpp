@@ -1,0 +1,81 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace rcs::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_view(Span2D<const double> v) {
+  Matrix m(v.rows(), v.cols());
+  copy(v, m.view());
+  return m;
+}
+
+void copy(Span2D<const double> src, Span2D<double> dst) {
+  RCS_CHECK_MSG(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                "copy shape mismatch: " << src.rows() << "x" << src.cols()
+                                        << " vs " << dst.rows() << "x"
+                                        << dst.cols());
+  for (std::size_t r = 0; r < src.rows(); ++r) {
+    std::memcpy(dst.row(r), src.row(r), src.cols() * sizeof(double));
+  }
+}
+
+double frobenius_norm(Span2D<const double> a) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * row[c];
+  }
+  return std::sqrt(acc);
+}
+
+double max_abs(Span2D<const double> a) {
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::fabs(row[c]));
+  }
+  return m;
+}
+
+double max_abs_diff(Span2D<const double> a, Span2D<const double> b) {
+  RCS_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                "diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::fabs(a(r, c) - b(r, c)));
+  }
+  return m;
+}
+
+bool bit_equal(Span2D<const double> a, Span2D<const double> b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    if (std::memcmp(a.row(r), b.row(r), a.cols() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << (r + 1 < m.rows() ? ";\n" : "]\n");
+  }
+  return os;
+}
+
+}  // namespace rcs::linalg

@@ -1,0 +1,96 @@
+#pragma once
+// Owning dense double-precision matrix (row-major) plus norms and comparison
+// helpers. The substrate standing in for the host-side BLAS storage that the
+// paper's C program keeps in node DRAM.
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/span2d.hpp"
+
+namespace rcs::linalg {
+
+/// Row-major dense matrix of doubles. Owns its storage; cheap to move.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    RCS_DASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    RCS_DASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Mutable view of the whole matrix.
+  Span2D<double> view() { return {data_.data(), rows_, cols_, cols_}; }
+  /// Const view of the whole matrix.
+  Span2D<const double> view() const {
+    return {data_.data(), rows_, cols_, cols_};
+  }
+  /// Mutable view of the block [r0, r0+nr) x [c0, c0+nc).
+  Span2D<double> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                       std::size_t nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  Span2D<const double> block(std::size_t r0, std::size_t c0, std::size_t nr,
+                             std::size_t nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  /// Set all entries to `value`.
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  bool operator==(const Matrix& other) const = default;
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Copy the contents of a (possibly strided) view into a fresh matrix.
+  static Matrix from_view(Span2D<const double> v);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copy src into dst; shapes must match. Views may be strided.
+void copy(Span2D<const double> src, Span2D<double> dst);
+
+/// Frobenius norm of a view.
+double frobenius_norm(Span2D<const double> a);
+
+/// Max-abs-entry norm of a view.
+double max_abs(Span2D<const double> a);
+
+/// Max-abs entry of (a - b); shapes must match.
+double max_abs_diff(Span2D<const double> a, Span2D<const double> b);
+
+/// True when every entry of a and b is bitwise identical (incl. -0 vs +0).
+bool bit_equal(Span2D<const double> a, Span2D<const double> b);
+
+/// Pretty-print (small matrices only; meant for debugging and examples).
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace rcs::linalg

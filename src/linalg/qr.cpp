@@ -1,0 +1,180 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/blas.hpp"
+
+namespace rcs::linalg {
+
+void geqrf_unblocked(Span2D<double> a, std::vector<double>& tau) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  RCS_CHECK_MSG(m >= n, "geqrf: matrix must have at least as many rows as "
+                        "columns");
+  tau.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Householder vector for column j (LAPACK dlarfg).
+    double sigma = 0.0;
+    for (std::size_t i = j + 1; i < m; ++i) sigma += a(i, j) * a(i, j);
+    const double alpha = a(j, j);
+    if (sigma == 0.0) {
+      tau[j] = 0.0;  // column already upper-triangular
+      continue;
+    }
+    const double mu = std::sqrt(alpha * alpha + sigma);
+    const double beta = alpha <= 0.0 ? mu : -mu;
+    tau[j] = (beta - alpha) / beta;
+    const double scale = 1.0 / (alpha - beta);
+    for (std::size_t i = j + 1; i < m; ++i) a(i, j) *= scale;
+    a(j, j) = beta;
+    // Apply (I - tau v v^T) to the trailing columns; v_j = 1 implied.
+    for (std::size_t c = j + 1; c < n; ++c) {
+      double w = a(j, c);
+      for (std::size_t i = j + 1; i < m; ++i) w += a(i, j) * a(i, c);
+      const double tw = tau[j] * w;
+      a(j, c) -= tw;
+      for (std::size_t i = j + 1; i < m; ++i) a(i, c) -= tw * a(i, j);
+    }
+  }
+}
+
+Matrix larft(Span2D<const double> v, const std::vector<double>& tau) {
+  const std::size_t m = v.rows();
+  const std::size_t k = v.cols();
+  RCS_CHECK_MSG(tau.size() == k, "larft: tau size mismatch");
+  Matrix t(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    t(i, i) = tau[i];
+    if (i == 0) continue;
+    // z = V(:, 0:i)^T v_i  with the unit-lower-trapezoidal convention.
+    std::vector<double> z(i, 0.0);
+    for (std::size_t col = 0; col < i; ++col) {
+      double acc = v(i, col);  // v_col has a 1 at row col; v_i at row i
+      for (std::size_t r = i + 1; r < m; ++r) acc += v(r, col) * v(r, i);
+      z[col] = acc;
+    }
+    // T(0:i, i) = -tau_i * T(0:i, 0:i) * z.
+    for (std::size_t r = 0; r < i; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = r; c < i; ++c) acc += t(r, c) * z[c];
+      t(r, i) = -tau[i] * acc;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// C := (I - V T^T V^T) C for unit-lower-trapezoidal V (m x k): the
+/// compact-WY left update (larfb 'Left','Transpose' for Q^T C with
+/// Q = H_1...H_k).
+void larfb_left(Span2D<const double> v, const Matrix& t, Span2D<double> c) {
+  const std::size_t m = v.rows();
+  const std::size_t k = v.cols();
+  const std::size_t n = c.cols();
+  RCS_CHECK_MSG(c.rows() == m, "larfb shape mismatch");
+  // W = V^T C (k x n), honouring the implicit unit diagonal of V.
+  Matrix w(k, n);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t col = 0; col < n; ++col) {
+      double acc = c(r, col);  // unit element of v_r
+      for (std::size_t i = r + 1; i < m; ++i) acc += v(i, r) * c(i, col);
+      w(r, col) = acc;
+    }
+  }
+  // W := T^T W (T upper triangular -> T^T lower triangular).
+  Matrix w2(k, n);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t col = 0; col < n; ++col) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i <= r; ++i) acc += t(i, r) * w(i, col);
+      w2(r, col) = acc;
+    }
+  }
+  // C := C - V W2.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t col = 0; col < n; ++col) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min(i + 1, k);
+      for (std::size_t r = 0; r < kmax; ++r) {
+        const double vir = r == i ? 1.0 : v(i, r);
+        acc += vir * w2(r, col);
+      }
+      c(i, col) -= acc;
+    }
+  }
+}
+
+}  // namespace
+
+void geqrf_blocked(Span2D<double> a, std::size_t bs,
+                   std::vector<double>& tau) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  RCS_CHECK_MSG(m >= n, "geqrf: matrix must have at least as many rows as "
+                        "columns");
+  RCS_CHECK_MSG(bs > 0, "geqrf: block size must be positive");
+  tau.assign(n, 0.0);
+  for (std::size_t t0 = 0; t0 < n; t0 += bs) {
+    const std::size_t tb = std::min(bs, n - t0);
+    std::vector<double> panel_tau;
+    auto panel = a.block(t0, t0, m - t0, tb);
+    geqrf_unblocked(panel, panel_tau);
+    std::copy(panel_tau.begin(), panel_tau.end(), tau.begin() + t0);
+    if (t0 + tb >= n) break;
+    const Matrix t = larft(panel, panel_tau);
+    larfb_left(panel, t, a.block(t0, t0 + tb, m - t0, n - t0 - tb));
+  }
+}
+
+Matrix form_q(Span2D<const double> factored, const std::vector<double>& tau) {
+  const std::size_t m = factored.rows();
+  const std::size_t n = factored.cols();
+  RCS_CHECK_MSG(tau.size() == n, "form_q: tau size mismatch");
+  Matrix q = Matrix::identity(m);
+  // Q = H_1 ... H_k applied to I: apply H_j from the left in reverse order.
+  for (std::size_t j = n; j-- > 0;) {
+    if (tau[j] == 0.0) continue;
+    for (std::size_t c = 0; c < m; ++c) {
+      double w = q(j, c);
+      for (std::size_t i = j + 1; i < m; ++i) w += factored(i, j) * q(i, c);
+      const double tw = tau[j] * w;
+      q(j, c) -= tw;
+      for (std::size_t i = j + 1; i < m; ++i)
+        q(i, c) -= tw * factored(i, j);
+    }
+  }
+  return q;
+}
+
+Matrix extract_r(Span2D<const double> factored) {
+  const std::size_t n = factored.cols();
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = factored(i, j);
+  return r;
+}
+
+double qr_residual(Span2D<const double> original,
+                   Span2D<const double> factored,
+                   const std::vector<double>& tau) {
+  const std::size_t m = original.rows();
+  const std::size_t n = original.cols();
+  const Matrix q = form_q(factored, tau);
+  const Matrix r = extract_r(factored);
+  Matrix qr(m, n);
+  gemm_overwrite(q.block(0, 0, m, n), r.view(), qr.view());
+  double num = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = original(i, j) - qr(i, j);
+      num += d * d;
+    }
+  const double den = frobenius_norm(original);
+  RCS_CHECK_MSG(den > 0.0, "qr_residual: zero matrix");
+  return std::sqrt(num) / den;
+}
+
+}  // namespace rcs::linalg

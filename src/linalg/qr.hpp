@@ -1,0 +1,50 @@
+#pragma once
+// QR factorization by Householder reflections — the remaining member of the
+// dense-factorization family targeted by hybrid linear algebra on
+// reconfigurable systems [22]. Provides the unblocked factorization, the
+// compact-WY blocked form whose trailing update is pure matrix multiply
+// (and therefore opMM-partitionable between the processor and the FPGA),
+// and helpers to materialize Q.
+//
+// Storage follows LAPACK geqrf: on return, R occupies the upper triangle
+// and the Householder vectors (unit leading entry implied) the strict lower
+// triangle, with the scalar factors in `tau`.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/span2d.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rcs::linalg {
+
+/// In-place unblocked Householder QR of an m x n matrix (m >= n).
+void geqrf_unblocked(Span2D<double> a, std::vector<double>& tau);
+
+/// In-place blocked QR (compact WY): panels of width `bs` factor with the
+/// unblocked routine, the trailing matrix updates as
+/// C := (I - V T^T V^T) C — two tall-skinny multiplies and one triangular
+/// one, the gemm-heavy shape the hybrid designs accelerate.
+void geqrf_blocked(Span2D<double> a, std::size_t bs, std::vector<double>& tau);
+
+/// The upper-triangular T factor of the compact WY representation for the
+/// Householder vectors in `v` (unit lower trapezoidal) and scalars `tau`.
+Matrix larft(Span2D<const double> v, const std::vector<double>& tau);
+
+/// Materialize the m x m orthogonal Q from a factored matrix (test-scale).
+Matrix form_q(Span2D<const double> factored, const std::vector<double>& tau);
+
+/// Extract the n x n upper-triangular R.
+Matrix extract_r(Span2D<const double> factored);
+
+/// Relative residual ||A - Q R||_F / ||A||_F.
+double qr_residual(Span2D<const double> original,
+                   Span2D<const double> factored,
+                   const std::vector<double>& tau);
+
+/// Flops counted for an m x n Householder QR (2mn^2 - 2n^3/3 leading term).
+inline long long geqrf_flops(long long m, long long n) {
+  return 2 * m * n * n - 2 * n * n * n / 3;
+}
+
+}  // namespace rcs::linalg

@@ -1,0 +1,106 @@
+#include "linalg/sparse.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rcs::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> ptr,
+                     std::vector<std::size_t> idx, std::vector<double> val)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(ptr)),
+      col_idx_(std::move(idx)),
+      values_(std::move(val)) {
+  RCS_CHECK_MSG(row_ptr_.size() == rows_ + 1, "bad row_ptr size");
+  RCS_CHECK_MSG(col_idx_.size() == values_.size(), "idx/val size mismatch");
+  RCS_CHECK_MSG(row_ptr_.front() == 0 && row_ptr_.back() == values_.size(),
+                "row_ptr does not bracket the value array");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    RCS_CHECK_MSG(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr not monotone");
+  }
+  for (std::size_t c : col_idx_) {
+    RCS_CHECK_MSG(c < cols_, "column index out of range: " << c);
+  }
+}
+
+void CsrMatrix::spmv(const double* x, double* y) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      acc += values_[e] * x[col_idx_[e]];
+    }
+    y[r] = acc;
+  }
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      m(r, col_idx_[e]) += values_[e];
+    }
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& a, double threshold) {
+  std::vector<std::size_t> ptr{0};
+  std::vector<std::size_t> idx;
+  std::vector<double> val;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::fabs(a(r, c)) > threshold) {
+        idx.push_back(c);
+        val.push_back(a(r, c));
+      }
+    }
+    ptr.push_back(val.size());
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(ptr), std::move(idx),
+                   std::move(val));
+}
+
+CsrMatrix CsrMatrix::laplacian_2d(std::size_t r, std::size_t c,
+                                  double shift) {
+  RCS_CHECK_MSG(r > 0 && c > 0, "empty grid");
+  const std::size_t n = r * c;
+  std::vector<std::size_t> ptr{0};
+  std::vector<std::size_t> idx;
+  std::vector<double> val;
+  auto id = [c](std::size_t i, std::size_t j) { return i * c + j; };
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      // Row in ascending column order: N, W, center, E, S neighbours.
+      double degree = 0.0;
+      if (i > 0) degree += 1.0;
+      if (j > 0) degree += 1.0;
+      if (j + 1 < c) degree += 1.0;
+      if (i + 1 < r) degree += 1.0;
+      if (i > 0) {
+        idx.push_back(id(i - 1, j));
+        val.push_back(-1.0);
+      }
+      if (j > 0) {
+        idx.push_back(id(i, j - 1));
+        val.push_back(-1.0);
+      }
+      idx.push_back(id(i, j));
+      val.push_back(degree + shift);
+      if (j + 1 < c) {
+        idx.push_back(id(i, j + 1));
+        val.push_back(-1.0);
+      }
+      if (i + 1 < r) {
+        idx.push_back(id(i + 1, j));
+        val.push_back(-1.0);
+      }
+      ptr.push_back(val.size());
+    }
+  }
+  return CsrMatrix(n, n, std::move(ptr), std::move(idx), std::move(val));
+}
+
+}  // namespace rcs::linalg

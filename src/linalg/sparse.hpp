@@ -1,0 +1,62 @@
+#pragma once
+// Compressed-sparse-row matrices and SpMV — the substrate for the sparse
+// conjugate-gradient workload of reference [9] (hybrid CG on an
+// FPGA-augmented reconfigurable computer), where the matrix-vector product
+// streams CSR data through deeply pipelined dot-product units.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace rcs::linalg {
+
+/// Compressed sparse row matrix of doubles.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets of one row at a time via the factories below.
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> ptr,
+            std::vector<std::size_t> idx, std::vector<double> val);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// y = A x (y is overwritten). Accumulation per row is in column order.
+  void spmv(const double* x, double* y) const;
+
+  /// Dense copy.
+  Matrix to_dense() const;
+
+  /// Bytes one SpMV streams from memory (value + column index per nonzero,
+  /// plus the row pointers) — the quantity the FPGA streaming model charges.
+  std::uint64_t stream_bytes() const {
+    return nnz() * (sizeof(double) + sizeof(std::uint32_t)) +
+           (rows_ + 1) * sizeof(std::uint32_t);
+  }
+
+  /// Sparsify a dense matrix: entries with |a_ij| > threshold are kept.
+  static CsrMatrix from_dense(const Matrix& a, double threshold = 0.0);
+
+  /// The 5-point-stencil Laplacian of an r x c grid plus `shift` on the
+  /// diagonal: symmetric positive definite for shift > 0 — the canonical
+  /// sparse CG system. Vertex (i, j) has index i*c + j.
+  static CsrMatrix laplacian_2d(std::size_t r, std::size_t c,
+                                double shift = 1e-3);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace rcs::linalg

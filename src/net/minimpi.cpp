@@ -1,0 +1,287 @@
+#include "net/minimpi.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace rcs::net {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::log_message(int dst, std::uint64_t bytes, SimTime depart,
+                       SimTime arrival) {
+  if (!world_->message_logging()) return;
+  sent_log_.push_back(MessageEvent{rank_, dst, bytes, depart, arrival});
+}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
+  RCS_CHECK_MSG(dst >= 0 && dst < world_->size(), "send to bad rank " << dst);
+  RCS_CHECK_MSG(dst != rank_, "send to self (rank " << rank_ << ")");
+  // §4.3: the processor drives MPI, so the CPU is busy for the whole
+  // serialization; arrival coincides with send completion.
+  const SimTime depart = clock_.now();
+  clock_.advance(world_->network().transfer_time(bytes));
+  bytes_sent_ += bytes;
+  log_message(dst, bytes, depart, clock_.now());
+
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.arrival = clock_.now();
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  world_->deliver(dst, std::move(msg));
+}
+
+void Comm::isend_bytes(int dst, int tag, const void* data,
+                       std::size_t bytes) {
+  RCS_CHECK_MSG(dst >= 0 && dst < world_->size(), "isend to bad rank " << dst);
+  RCS_CHECK_MSG(dst != rank_, "isend to self (rank " << rank_ << ")");
+  // CPU pays only the DMA setup; the NIC serializes the transfer.
+  clock_.advance(world_->network().latency_s);
+  const SimTime start = std::max(clock_.now(), nic_busy_until_);
+  nic_busy_until_ =
+      start + static_cast<double>(bytes) / world_->network().bytes_per_s;
+  bytes_sent_ += bytes;
+  log_message(dst, bytes, start, nic_busy_until_);
+
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.arrival = nic_busy_until_;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  world_->deliver(dst, std::move(msg));
+}
+
+std::vector<std::byte> Comm::bcast_tree(int root, int tag,
+                                        std::vector<std::byte> payload) {
+  const int p = size();
+  RCS_CHECK_MSG(root >= 0 && root < p, "bcast_tree bad root " << root);
+  if (p == 1) return payload;
+  // Classic binomial tree on virtual ranks (root = virtual 0): a rank's
+  // parent clears its lowest set bit; it forwards to vrank + s for every
+  // power of two s below that bit, largest first, so the last arrival is
+  // ceil(log2 p) transfer times after the root starts.
+  const int vrank = (rank_ - root + p) % p;
+  int rounds = 0;
+  while ((1 << rounds) < p) ++rounds;
+  const int low = vrank == 0 ? (1 << rounds) : (vrank & -vrank);
+  if (vrank != 0) {
+    const int parent = (vrank - low + root) % p;
+    payload = recv(parent, tag).payload;
+  }
+  for (int s = low >> 1; s >= 1; s >>= 1) {
+    if (vrank + s < p) {
+      const int child = (vrank + s + root) % p;
+      send_bytes(child, tag, payload.data(), payload.size());
+    }
+  }
+  return payload;
+}
+
+std::vector<double> Comm::allgather_doubles(int tag,
+                                            const std::vector<double>& mine) {
+  const int p = size();
+  std::vector<double> all;
+  if (rank_ == 0) {
+    // Count header then payload from each rank, in rank order.
+    std::vector<std::vector<double>> parts(static_cast<std::size_t>(p));
+    parts[0] = mine;
+    for (int r = 1; r < p; ++r) {
+      parts[static_cast<std::size_t>(r)] = recv(r, tag).as_doubles();
+    }
+    for (const auto& part : parts)
+      all.insert(all.end(), part.begin(), part.end());
+  } else {
+    send_doubles(0, tag, mine.data(), mine.size());
+  }
+  return bcast_doubles(0, tag ^ 0x5a5a, std::move(all));
+}
+
+double Comm::reduce_sum(int root, int tag, double value) {
+  const int p = size();
+  RCS_CHECK_MSG(root >= 0 && root < p, "reduce bad root " << root);
+  if (rank_ != root) {
+    send_doubles(root, tag, &value, 1);
+    return 0.0;
+  }
+  double sum = value;
+  for (int r = 0; r < p; ++r) {
+    if (r == root) continue;
+    sum += recv(r, tag).as<double>();
+  }
+  return sum;
+}
+
+Message Comm::recv(int src, int tag) {
+  RCS_CHECK_MSG(src >= 0 && src < world_->size(), "recv from bad rank " << src);
+  RCS_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
+  Message msg = world_->take(rank_, src, tag);
+  clock_.advance_to(msg.arrival);
+  return msg;
+}
+
+std::vector<std::byte> Comm::bcast(int root, int tag,
+                                   std::vector<std::byte> payload) {
+  const int p = size();
+  RCS_CHECK_MSG(root >= 0 && root < p, "bcast bad root " << root);
+  if (rank_ == root) {
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      send_bytes(r, tag, payload.data(), payload.size());
+    }
+    return payload;
+  }
+  return recv(root, tag).payload;
+}
+
+std::vector<double> Comm::bcast_doubles(int root, int tag,
+                                        std::vector<double> values) {
+  std::vector<std::byte> bytes(values.size() * sizeof(double));
+  if (rank_ == root && !values.empty()) {
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+  }
+  bytes = bcast(root, tag, std::move(bytes));
+  if (rank_ != root) {
+    values.resize(bytes.size() / sizeof(double));
+    if (!values.empty())
+      std::memcpy(values.data(), bytes.data(), bytes.size());
+  }
+  return values;
+}
+
+void Comm::barrier() {
+  // Gather-to-0, then root releases everyone. Tags in a reserved range.
+  constexpr int kGatherTag = -1001;
+  constexpr int kReleaseTag = -1002;
+  const int p = size();
+  if (p == 1) return;
+  const std::byte token{0};
+  if (rank_ == 0) {
+    SimTime latest = clock_.now();
+    for (int r = 1; r < p; ++r) {
+      Message m = recv(r, kGatherTag);
+      latest = std::max(latest, m.arrival);
+    }
+    clock_.advance_to(latest);
+    for (int r = 1; r < p; ++r) send_bytes(r, kReleaseTag, &token, 1);
+  } else {
+    send_bytes(0, kGatherTag, &token, 1);
+    (void)recv(0, kReleaseTag);
+  }
+}
+
+std::vector<double> Comm::gather_double(int root, int tag, double value) {
+  const int p = size();
+  if (rank_ != root) {
+    send_doubles(root, tag, &value, 1);
+    return {};
+  }
+  std::vector<double> out(static_cast<std::size_t>(p), 0.0);
+  out[static_cast<std::size_t>(rank_)] = value;
+  for (int r = 0; r < p; ++r) {
+    if (r == root) continue;
+    Message m = recv(r, tag);
+    out[static_cast<std::size_t>(r)] = m.as<double>();
+  }
+  return out;
+}
+
+double Comm::allreduce_max(double value) {
+  constexpr int kUpTag = -1003;
+  constexpr int kDownTag = -1004;
+  const int p = size();
+  if (p == 1) return value;
+  if (rank_ == 0) {
+    double best = value;
+    for (int r = 1; r < p; ++r) best = std::max(best, recv(r, kUpTag).as<double>());
+    for (int r = 1; r < p; ++r) send_value(r, kDownTag, best);
+    return best;
+  }
+  send_value(0, kUpTag, value);
+  return recv(0, kDownTag).as<double>();
+}
+
+World::World(int size, NetworkParams net) : size_(size), net_(net) {
+  RCS_CHECK_MSG(size >= 1, "world size must be at least 1, got " << size);
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  comms_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    comms_.push_back(std::unique_ptr<Comm>(new Comm(this, r)));
+  }
+}
+
+World::~World() = default;
+
+Comm& World::comm(int rank) {
+  RCS_CHECK_MSG(rank >= 0 && rank < size_, "bad rank " << rank);
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+SimTime World::makespan() const {
+  SimTime t = 0.0;
+  for (const auto& c : comms_) t = std::max(t, c->clock().now());
+  return t;
+}
+
+std::vector<MessageEvent> World::message_log() const {
+  std::vector<MessageEvent> all;
+  for (const auto& c : comms_) {
+    all.insert(all.end(), c->sent_log_.begin(), c->sent_log_.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const MessageEvent& a, const MessageEvent& b) {
+                     return a.depart < b.depart;
+                   });
+  return all;
+}
+
+void World::deliver(int dst, Message msg) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message World::take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    if (it != box.queue.end()) {
+      Message msg = std::move(*it);
+      box.queue.erase(it);
+      return msg;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void World::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &err_mu, &first_error] {
+      try {
+        rank_main(*comms_[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rcs::net

@@ -1,0 +1,258 @@
+#pragma once
+// MiniMPI — an MPI-style message-passing runtime over std::thread.
+//
+// The paper's nodes communicate with MPI over the XD1 RapidArray fabric; no
+// MPI implementation is available here, so MiniMPI provides the subset the
+// hybrid designs need (point-to-point send/recv with tags, broadcast,
+// barrier, gather) with real data movement between per-rank mailboxes.
+//
+// Virtual time: every rank owns a clock in simulated seconds. Following the
+// paper's model (§4.3: "the computations on the processors cannot overlap
+// with the network communications"), a send charges the full serialization
+// time `latency + bytes/B_n` to the *sender's* clock (the CPU drives MPI),
+// and a receive advances the receiver's clock to at least the message's
+// arrival time. Broadcast is root-serialized, matching the paper's
+// "transfers ... to all the other nodes".
+//
+// Determinism: receives always name their source and tag, clocks depend only
+// on message payload sizes and compute charges — never on wall-clock time —
+// so repeated runs give identical simulated timings and data.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+// Extended collectives and DMA-style transfers live alongside the basic
+// MPI-flavoured operations; see the class comments below.
+
+namespace rcs::net {
+
+using sim::SimTime;
+
+/// Cost parameters of the interconnect between any two nodes.
+struct NetworkParams {
+  double bytes_per_s = 2e9;  // B_n: XD1 provides 2 GB/s links per node
+  double latency_s = 0.0;    // per-message latency (the paper neglects it)
+
+  /// Serialization time for one message of `bytes`.
+  SimTime transfer_time(std::uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bytes_per_s;
+  }
+};
+
+/// Per-rank simulated clock. All compute and communication charges flow
+/// through here so the run produces a deterministic simulated schedule.
+class VirtualClock {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Advance by a non-negative duration.
+  void advance(SimTime dt) {
+    RCS_CHECK_MSG(dt >= 0.0, "clock cannot move backwards by " << dt);
+    now_ += dt;
+  }
+
+  /// Move forward to `t` if `t` is later; never moves backwards.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+/// One sent message as seen by the timing layer — recorded when message
+/// logging is enabled, consumed by net::analyze_contention.
+struct MessageEvent {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  SimTime depart = 0.0;   // when the transfer started
+  SimTime arrival = 0.0;  // when the payload became available
+};
+
+/// A received message: payload plus provenance and simulated arrival time.
+struct Message {
+  int src = -1;
+  int tag = -1;
+  SimTime arrival = 0.0;          // simulated time the payload is available
+  std::vector<std::byte> payload;
+
+  /// Reinterpret the payload as a vector of doubles.
+  std::vector<double> as_doubles() const {
+    RCS_CHECK_MSG(payload.size() % sizeof(double) == 0,
+                  "payload is not a whole number of doubles");
+    std::vector<double> out(payload.size() / sizeof(double));
+    std::memcpy(out.data(), payload.data(), payload.size());
+    return out;
+  }
+
+  /// Reinterpret the payload as a single trivially-copyable value.
+  template <typename T>
+  T as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RCS_CHECK_MSG(payload.size() == sizeof(T), "payload size mismatch");
+    T v;
+    std::memcpy(&v, payload.data(), sizeof(T));
+    return v;
+  }
+};
+
+class World;
+
+/// A rank's handle to the world: MPI-flavoured operations plus the rank's
+/// virtual clock. One Comm per rank, used only from that rank's thread.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Point-to-point send of raw bytes. Charges `transfer_time(bytes)` to
+  /// this rank's clock; the message arrives at the charged completion time.
+  void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// DMA-style non-blocking send: the transfer occupies this rank's NIC
+  /// timeline instead of the CPU (the RapidArray engines on XD1 can move
+  /// data without the processor). The CPU pays only the per-message setup
+  /// latency; the message arrives when the NIC finishes. Ordering with
+  /// other isends from this rank is preserved (one NIC, serialized).
+  void isend_bytes(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Simulated time this rank's NIC becomes idle.
+  SimTime nic_free_at() const { return nic_busy_until_; }
+
+  /// Blocking receive from a specific source and tag. The clock advances to
+  /// at least the message's simulated arrival.
+  Message recv(int src, int tag);
+
+  /// Convenience wrappers.
+  void send_doubles(int dst, int tag, const double* data, std::size_t count) {
+    send_bytes(dst, tag, data, count * sizeof(double));
+  }
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, &v, sizeof(T));
+  }
+
+  /// Root-serialized broadcast: root sends to every other rank in turn
+  /// (P_t' "transfers ... to all the other nodes"); non-roots receive.
+  /// Returns the payload (the root's own copy comes back unchanged).
+  std::vector<std::byte> bcast(int root, int tag,
+                               std::vector<std::byte> payload);
+
+  /// Broadcast a vector of doubles.
+  std::vector<double> bcast_doubles(int root, int tag,
+                                    std::vector<double> values);
+
+  /// Binomial-tree broadcast: ceil(log2 p) rounds, each relay forwarding to
+  /// its subtree, so the last arrival is ~log2(p) transfer times instead of
+  /// the root-serialized (p-1). Every rank must call it.
+  std::vector<std::byte> bcast_tree(int root, int tag,
+                                    std::vector<std::byte> payload);
+
+  /// All ranks contribute `mine`; every rank returns the concatenation in
+  /// rank order (gather to root, then broadcast).
+  std::vector<double> allgather_doubles(int tag,
+                                        const std::vector<double>& mine);
+
+  /// Reduce-sum of a double to `root` (returns the sum on root, 0 elsewhere).
+  double reduce_sum(int root, int tag, double value);
+
+  /// Barrier (gather-to-0 then release). Synchronizes simulated clocks to
+  /// the latest participant (plus the tiny control-message costs).
+  void barrier();
+
+  /// Gather one double from every rank to `root`; non-roots get empty.
+  std::vector<double> gather_double(int root, int tag, double value);
+
+  /// Reduce-max of a double across ranks; the result is valid on all ranks.
+  double allreduce_max(double value);
+
+  /// This rank's virtual clock (compute charges are applied by the node
+  /// model, which shares this clock).
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+
+  /// Total bytes this rank has sent (for reports).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  void log_message(int dst, std::uint64_t bytes, SimTime depart,
+                   SimTime arrival);
+
+  World* world_;
+  int rank_;
+  VirtualClock clock_;
+  SimTime nic_busy_until_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+  std::vector<MessageEvent> sent_log_;  // only filled when logging enabled
+};
+
+/// The set of ranks plus their mailboxes. Construct with the node count and
+/// network parameters, then `run` a per-rank main function.
+class World {
+ public:
+  World(int size, NetworkParams net);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return size_; }
+  const NetworkParams& network() const { return net_; }
+
+  /// Launch `size` threads, each executing rank_main with its Comm, and join
+  /// them all. Rethrows the first rank exception after joining. The Comms
+  /// (and their clocks / byte counters) remain inspectable afterwards.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+  /// Rank r's Comm — valid between construction and destruction; read its
+  /// clock after run() to get per-node finish times.
+  Comm& comm(int rank);
+
+  /// Latest simulated clock across ranks (the run's makespan) — call after
+  /// run().
+  SimTime makespan() const;
+
+  /// Record every message sent during run() (off by default). Call before
+  /// run(); retrieve with message_log() afterwards.
+  void set_message_logging(bool enabled) { log_messages_ = enabled; }
+  bool message_logging() const { return log_messages_; }
+
+  /// All messages sent during the run, in departure order.
+  std::vector<MessageEvent> message_log() const;
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int dst, Message msg);
+  Message take(int dst, int src, int tag);
+
+  int size_;
+  NetworkParams net_;
+  bool log_messages_ = false;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+};
+
+}  // namespace rcs::net

@@ -1,0 +1,78 @@
+#include "node/compute_node.hpp"
+
+#include "common/error.hpp"
+
+namespace rcs::node {
+
+ComputeNode::ComputeNode(NodeParams params, net::VirtualClock& clock,
+                         sim::TraceRecorder* trace, std::string name)
+    : params_(std::move(params)),
+      clock_(clock),
+      trace_(trace),
+      name_(std::move(name)) {}
+
+void ComputeNode::cpu_compute(CpuKernel kernel, double flops,
+                              const char* label) {
+  const sim::SimTime start = clock_.now();
+  sim::SimTime dt = params_.gpp.seconds_for(kernel, flops);
+  const double gamma = params_.dram_contention_factor;
+  if (gamma > 0.0 && start < fpga_busy_until_) {
+    RCS_CHECK_MSG(gamma < 1.0, "contention factor must be < 1");
+    // The portion overlapping the FPGA's activity runs derated.
+    const sim::SimTime window = fpga_busy_until_ - start;
+    const sim::SimTime derated_full = dt / (1.0 - gamma);
+    if (derated_full <= window) {
+      dt = derated_full;  // finishes entirely inside the busy window
+    } else {
+      const sim::SimTime work_in_window = window * (1.0 - gamma);
+      dt = window + (dt - work_in_window);  // remainder at full rate
+    }
+  }
+  clock_.advance(dt);
+  cpu_busy_total_ += dt;
+  cpu_flops_total_ += flops;
+  if (trace_ != nullptr)
+    trace_->add(name_ + ".cpu", start, clock_.now(), label);
+}
+
+void ComputeNode::dram_to_fpga(std::uint64_t bytes) {
+  const sim::SimTime dt =
+      static_cast<double>(bytes) / params_.fpga.dram_bytes_per_s;
+  const sim::SimTime start = clock_.now();
+  clock_.advance(dt);
+  cpu_busy_total_ += dt;
+  if (trace_ != nullptr)
+    trace_->add(name_ + ".dram", start, clock_.now(), "dram->fpga");
+}
+
+sim::SimTime ComputeNode::fpga_submit(double cycles, const char* label) {
+  RCS_CHECK_MSG(cycles >= 0.0, "negative FPGA cycle count");
+  // Start signal: processor writes the FPGA's control register.
+  clock_.advance(params_.coordination_latency_s);
+  ++coordination_events_;
+  ++pending_submissions_;
+  const sim::SimTime start =
+      clock_.now() > fpga_busy_until_ ? clock_.now() : fpga_busy_until_;
+  const sim::SimTime dt = params_.fpga.seconds_for_cycles(cycles);
+  fpga_busy_until_ = start + dt;
+  fpga_busy_total_ += dt;
+  if (trace_ != nullptr)
+    trace_->add(name_ + ".fpga", start, fpga_busy_until_, label);
+  return fpga_busy_until_;
+}
+
+void ComputeNode::fpga_wait() {
+  // Completion notification: processor polls the FPGA's status register.
+  clock_.advance(params_.coordination_latency_s);
+  ++coordination_events_;
+  clock_.advance_to(fpga_busy_until_);
+  pending_submissions_ = 0;
+}
+
+void ComputeNode::read_fpga_results(const char* what) const {
+  RCS_CHECK_MSG(fpga_results_visible(),
+                "§4.4 coordination violation: processor reading '"
+                    << what << "' before the FPGA signalled completion");
+}
+
+}  // namespace rcs::node

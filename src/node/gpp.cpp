@@ -1,0 +1,53 @@
+#include "node/gpp.hpp"
+
+#include "common/error.hpp"
+
+namespace rcs::node {
+
+const char* to_string(CpuKernel k) {
+  switch (k) {
+    case CpuKernel::Dgemm: return "dgemm";
+    case CpuKernel::Dgetrf: return "dgetrf";
+    case CpuKernel::Dtrsm: return "dtrsm";
+    case CpuKernel::Dpotrf: return "dpotrf";
+    case CpuKernel::FwBlock: return "fw-block";
+    case CpuKernel::MemBound: return "mem-bound";
+  }
+  return "?";
+}
+
+GppModel::GppModel(double default_flops_per_s)
+    : default_rate_(default_flops_per_s) {
+  RCS_CHECK_MSG(default_flops_per_s > 0.0, "GPP rate must be positive");
+}
+
+void GppModel::set_rate(CpuKernel kernel, double flops_per_s) {
+  RCS_CHECK_MSG(flops_per_s > 0.0, "GPP rate must be positive");
+  rates_[kernel] = flops_per_s;
+}
+
+double GppModel::sustained(CpuKernel kernel) const {
+  auto it = rates_.find(kernel);
+  return it == rates_.end() ? default_rate_ : it->second;
+}
+
+sim::SimTime GppModel::seconds_for(CpuKernel kernel, double flops) const {
+  RCS_CHECK_MSG(flops >= 0.0, "negative flop count");
+  return flops / sustained(kernel);
+}
+
+GppModel GppModel::opteron_2p2ghz() {
+  GppModel m(1e9);
+  m.set_rate(CpuKernel::Dgemm, 3.9e9);
+  // Table 1, b = 3000: dgetrf (2/3) * 3000^3 flops in 4.9 s -> 3.67 GFLOPS;
+  // dtrsm 3000^3 flops in 7.1 s -> 3.80 GFLOPS.
+  m.set_rate(CpuKernel::Dgetrf, (2.0 / 3.0) * 27e9 / 4.9);
+  m.set_rate(CpuKernel::Dtrsm, 27e9 / 7.1);
+  // dpotrf sustains close to dgetrf on this class of machine.
+  m.set_rate(CpuKernel::Dpotrf, (2.0 / 3.0) * 27e9 / 4.9);
+  m.set_rate(CpuKernel::FwBlock, 190e6);
+  m.set_rate(CpuKernel::MemBound, 1e9);
+  return m;
+}
+
+}  // namespace rcs::node

@@ -1,0 +1,25 @@
+#include "sim/engine.hpp"
+
+namespace rcs::sim {
+
+void Engine::schedule(SimTime at, std::function<void()> fn) {
+  RCS_CHECK_MSG(at >= now_, "cannot schedule in the past: " << at << " < "
+                                                            << now_);
+  queue_.push(Item{at, seq_++, std::move(fn)});
+}
+
+SimTime Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // priority_queue::top returns const&; the closure must be moved out, so
+    // const_cast the non-key payload (the comparator never touches fn).
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.at;
+    ++fired_;
+    item.fn();
+  }
+  return now_;
+}
+
+}  // namespace rcs::sim

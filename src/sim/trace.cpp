@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace rcs::sim {
+
+void TraceRecorder::add(std::string resource, SimTime start, SimTime end,
+                        std::string label) {
+  if (!enabled_) return;
+  RCS_CHECK_MSG(end >= start, "trace span ends before it starts: " << label);
+  spans_.push_back(
+      TraceSpan{std::move(resource), start, end, std::move(label)});
+}
+
+void TraceRecorder::merge_from(TraceRecorder&& other) {
+  spans_.insert(spans_.end(),
+                std::make_move_iterator(other.spans_.begin()),
+                std::make_move_iterator(other.spans_.end()));
+  other.spans_.clear();
+}
+
+std::map<std::string, SimTime> TraceRecorder::busy_by_resource() const {
+  std::map<std::string, SimTime> busy;
+  for (const auto& s : spans_) busy[s.resource] += s.end - s.start;
+  return busy;
+}
+
+std::map<std::string, double> TraceRecorder::utilization(
+    SimTime horizon) const {
+  RCS_CHECK_MSG(horizon > 0.0, "utilization horizon must be positive");
+  std::map<std::string, double> util;
+  for (const auto& [res, busy] : busy_by_resource()) util[res] = busy / horizon;
+  return util;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  std::vector<const TraceSpan*> order;
+  order.reserve(spans_.size());
+  for (const auto& s : spans_) order.push_back(&s);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     return a->start < b->start;
+                   });
+  os << "resource,start,end,label\n";
+  for (const TraceSpan* s : order) {
+    os << s->resource << ',' << s->start << ',' << s->end << ',' << s->label
+       << '\n';
+  }
+}
+
+}  // namespace rcs::sim

@@ -1,0 +1,57 @@
+#pragma once
+// Execution-trace recording: per-resource busy intervals with labels,
+// exportable as CSV for Gantt-style inspection of a simulated run.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace rcs::sim {
+
+/// One recorded busy interval on a named resource.
+struct TraceSpan {
+  std::string resource;  // e.g. "node2.cpu", "node2.fpga", "net.0->3"
+  SimTime start;
+  SimTime end;
+  std::string label;  // e.g. "opMM", "bcast D_tt"
+};
+
+/// Collects TraceSpans during a simulated run. Recording can be disabled
+/// (the default for large analytic sweeps) so hot paths pay one branch.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(bool enabled = false) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Record one interval (no-op when disabled).
+  void add(std::string resource, SimTime start, SimTime end,
+           std::string label);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Splice another recorder's spans into this one (used to merge the
+  /// per-rank recorders of a functional run; recorders themselves are not
+  /// thread-safe, so each rank records privately and merges afterwards).
+  void merge_from(TraceRecorder&& other);
+
+  /// Total busy time per resource.
+  std::map<std::string, SimTime> busy_by_resource() const;
+
+  /// Utilization per resource over [0, horizon].
+  std::map<std::string, double> utilization(SimTime horizon) const;
+
+  /// CSV: resource,start,end,label — one row per span, sorted by start.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace rcs::sim

@@ -1,0 +1,311 @@
+// Tests for the analytic schedule simulators and the §4.5 predictor: the
+// paper-scale behaviours (Fig. 5-9 shapes) expressed as assertions.
+
+#include <gtest/gtest.h>
+
+#include "core/fw_analytic.hpp"
+#include "core/lu_analytic.hpp"
+#include "core/predict.hpp"
+
+namespace core = rcs::core;
+using core::DesignMode;
+using core::SystemParams;
+
+namespace {
+
+const SystemParams& xd1() {
+  static const SystemParams sys = SystemParams::cray_xd1();
+  return sys;
+}
+
+core::LuConfig lu_cfg(DesignMode mode, long long n = 30000,
+                      long long b = 3000) {
+  core::LuConfig cfg;
+  cfg.n = n;
+  cfg.b = b;
+  cfg.mode = mode;
+  return cfg;
+}
+
+core::FwConfig fw_cfg(DesignMode mode, long long n = 92160,
+                      long long b = 256) {
+  core::FwConfig cfg;
+  cfg.n = n;
+  cfg.b = b;
+  cfg.mode = mode;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// LU
+
+TEST(LuAnalytic, HybridReachesPaperScaleGflops) {
+  const auto rep = core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid));
+  // Paper: 20 GFLOPS at n = 30000, b = 3000. The simulator must land in the
+  // same regime (the paper's own implementation reaches 86% of its model).
+  EXPECT_GT(rep.run.gflops(), 15.0);
+  EXPECT_LT(rep.run.gflops(), 28.0);
+}
+
+TEST(LuAnalytic, HybridBeatsBothBaselines) {
+  const auto hybrid = core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid));
+  const auto cpu = core::lu_analytic(xd1(), lu_cfg(DesignMode::ProcessorOnly));
+  const auto fpga = core::lu_analytic(xd1(), lu_cfg(DesignMode::FpgaOnly));
+  EXPECT_GT(hybrid.run.gflops(), cpu.run.gflops());
+  EXPECT_GT(hybrid.run.gflops(), fpga.run.gflops());
+  // Fig. 9 ordering: processor-only beats FPGA-only for LU (3.9 vs 2.08
+  // GFLOPS of per-node compute power).
+  EXPECT_GT(cpu.run.gflops(), fpga.run.gflops());
+  // Speedup bands around the paper's 1.3x / 2x.
+  const double s_cpu = hybrid.run.seconds > 0
+                           ? cpu.run.seconds / hybrid.run.seconds
+                           : 0.0;
+  const double s_fpga = fpga.run.seconds / hybrid.run.seconds;
+  EXPECT_GT(s_cpu, 1.05);
+  EXPECT_LT(s_cpu, 1.8);
+  EXPECT_GT(s_fpga, 1.5);
+  EXPECT_LT(s_fpga, 3.0);
+}
+
+TEST(LuAnalytic, HybridCapturesMostOfBaselineSum) {
+  // Section 6.2: the hybrid reaches ~80% of the sum of the two baselines.
+  const auto hybrid = core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid));
+  const auto cpu = core::lu_analytic(xd1(), lu_cfg(DesignMode::ProcessorOnly));
+  const auto fpga = core::lu_analytic(xd1(), lu_cfg(DesignMode::FpgaOnly));
+  const double frac =
+      hybrid.run.gflops() / (cpu.run.gflops() + fpga.run.gflops());
+  EXPECT_GT(frac, 0.60);
+  EXPECT_LT(frac, 1.00);
+}
+
+TEST(LuAnalytic, GflopsGrowWithBlockCount) {
+  // Fig. 8: performance increases with n/b because opMM's share grows.
+  double prev = 0.0;
+  for (long long nb : {2, 4, 6, 8, 10}) {
+    const auto rep =
+        core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid, 3000 * nb));
+    EXPECT_GT(rep.run.gflops(), prev) << "n/b = " << nb;
+    prev = rep.run.gflops();
+  }
+}
+
+TEST(LuAnalytic, Fig5CurveIsUShaped) {
+  // Latency of one block MM falls from b_f = 0 to the optimum, then rises
+  // past it; FPGA-only (b_f = b) is worse than processor-only (b_f = 0).
+  const auto at = [&](long long bf) {
+    return core::lu_single_opmm_latency(xd1(), 3000, bf,
+                                        core::SendFanout::SerialAll);
+  };
+  const long long opt = core::solve_mm_partition(xd1(), 3000).b_f;
+  EXPECT_LT(at(opt), at(0));
+  EXPECT_LT(at(opt), at(3000));
+  EXPECT_LT(at(0), at(3000));
+  // Monotone decrease towards the optimum from both sides (sampled).
+  EXPECT_GT(at(256), at(512));
+  EXPECT_GT(at(512), at(opt));
+  EXPECT_LT(at(opt), at(2048));
+  EXPECT_LT(at(2048), at(2944));
+}
+
+TEST(LuAnalytic, Fig6InterleaveSweepHasInteriorMinimum) {
+  // Fig. 6: iteration-0 latency falls from l = 0, bottoms out around the
+  // Eq. 5 solution, and does not blow up through l = 5.
+  auto iter0 = [&](int l) {
+    core::LuConfig cfg = lu_cfg(DesignMode::Hybrid);
+    cfg.l = l;
+    cfg.max_iterations = 1;
+    return core::lu_analytic(xd1(), cfg).run.seconds;
+  };
+  const double l0 = iter0(0);
+  const auto li = core::solve_lu_interleave(
+      xd1(), 3000, core::solve_mm_partition(xd1(), 3000),
+      core::SendFanout::SerialAll);
+  const double lopt = iter0(li.l);
+  EXPECT_LT(lopt, l0);          // interleaving helps
+  EXPECT_LT(iter0(1), l0);      // even a little helps
+  EXPECT_GE(iter0(1), lopt - 1e-9);
+  // Past the optimum the curve stays within a few percent (paper: "the
+  // increase is not noticeable until l = 5").
+  EXPECT_LT(iter0(li.l + 2), lopt * 1.10);
+}
+
+TEST(LuAnalytic, IterationLatenciesShrinkOverTime) {
+  const auto rep = core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid));
+  ASSERT_EQ(rep.iteration_seconds.size(), 10u);
+  // The trailing matrix shrinks every iteration.
+  EXPECT_GT(rep.iteration_seconds.front(), rep.iteration_seconds[8]);
+  // The last iteration is just the final opLU.
+  EXPECT_NEAR(rep.iteration_seconds.back(), 4.9, 0.1);
+}
+
+TEST(LuAnalytic, FlopAccountingMatchesClosedForm) {
+  const auto rep = core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid));
+  // Task-decomposed flops approach (2/3) n^3 (the opMS term adds O(n^2 b)).
+  const double n = 30000.0;
+  EXPECT_NEAR(rep.run.total_flops, (2.0 / 3.0) * n * n * n,
+              0.02 * (2.0 / 3.0) * n * n * n);
+}
+
+TEST(LuAnalytic, ProcessorOnlyHasNoFpgaWork) {
+  const auto rep =
+      core::lu_analytic(xd1(), lu_cfg(DesignMode::ProcessorOnly));
+  EXPECT_EQ(rep.run.fpga_flops, 0.0);
+  EXPECT_EQ(rep.run.coordination_events, 0u);
+}
+
+TEST(LuAnalytic, RequiresDivisibleBlocks) {
+  EXPECT_THROW(core::lu_analytic(xd1(), lu_cfg(DesignMode::Hybrid, 30001)),
+               rcs::Error);
+}
+
+TEST(LuAnalytic, LookaheadNeverSlower) {
+  const auto cfg = lu_cfg(DesignMode::Hybrid);
+  auto ahead = cfg;
+  ahead.lookahead = true;
+  const auto barriered = core::lu_analytic(xd1(), cfg);
+  const auto look = core::lu_analytic(xd1(), ahead);
+  EXPECT_LE(look.run.seconds, barriered.run.seconds * 1.0001);
+  // With the paper's parameters the barrier costs real time.
+  EXPECT_LT(look.run.seconds, barriered.run.seconds * 0.99);
+  // Lookahead closes part of the gap to the §4.5 prediction.
+  const auto pred = core::predict_lu(xd1(), cfg);
+  EXPECT_GT(look.run.gflops() / pred.gflops(),
+            barriered.run.gflops() / pred.gflops());
+}
+
+TEST(LuAnalytic, LookaheadStillBoundedByPrediction) {
+  auto cfg = lu_cfg(DesignMode::Hybrid);
+  cfg.lookahead = true;
+  const auto look = core::lu_analytic(xd1(), cfg);
+  const auto pred = core::predict_lu(xd1(), cfg);
+  EXPECT_LE(pred.latency_seconds(), look.run.seconds * 1.01);
+}
+
+// ---------------------------------------------------------------------------
+// Floyd–Warshall
+
+TEST(FwAnalytic, HybridReachesPaperScaleGflops) {
+  const auto rep = core::fw_analytic(xd1(), fw_cfg(DesignMode::Hybrid));
+  // Paper: 6.6 GFLOPS at n = 92160, b = 256.
+  EXPECT_GT(rep.run.gflops(), 5.0);
+  EXPECT_LT(rep.run.gflops(), 8.0);
+}
+
+TEST(FwAnalytic, SpeedupsMatchFig9Shape) {
+  const auto hybrid = core::fw_analytic(xd1(), fw_cfg(DesignMode::Hybrid));
+  const auto cpu =
+      core::fw_analytic(xd1(), fw_cfg(DesignMode::ProcessorOnly));
+  const auto fpga = core::fw_analytic(xd1(), fw_cfg(DesignMode::FpgaOnly));
+  // FPGA-only beats processor-only for FW (1.92 vs 0.19 GFLOPS per node).
+  EXPECT_GT(fpga.run.gflops(), cpu.run.gflops());
+  // Paper: 5.8x over processor-only, 1.15x over FPGA-only.
+  const double s_cpu = cpu.run.seconds / hybrid.run.seconds;
+  const double s_fpga = fpga.run.seconds / hybrid.run.seconds;
+  EXPECT_GT(s_cpu, 4.0);
+  EXPECT_LT(s_cpu, 8.0);
+  EXPECT_GT(s_fpga, 1.02);
+  EXPECT_LT(s_fpga, 1.5);
+}
+
+TEST(FwAnalytic, HybridCapturesMostOfBaselineSum) {
+  // Section 6.2: >= 95% of the baselines' sum for FW.
+  const auto hybrid = core::fw_analytic(xd1(), fw_cfg(DesignMode::Hybrid));
+  const auto cpu =
+      core::fw_analytic(xd1(), fw_cfg(DesignMode::ProcessorOnly));
+  const auto fpga = core::fw_analytic(xd1(), fw_cfg(DesignMode::FpgaOnly));
+  const double frac =
+      hybrid.run.gflops() / (cpu.run.gflops() + fpga.run.gflops());
+  EXPECT_GT(frac, 0.85);
+  EXPECT_LT(frac, 1.05);
+}
+
+TEST(FwAnalytic, GflopsRoughlyConstantInN) {
+  // Section 6.2: FW performance is nearly independent of problem size.
+  const auto small = core::fw_analytic(
+      xd1(), fw_cfg(DesignMode::Hybrid, 256 * 6 * 6));
+  const auto large = core::fw_analytic(
+      xd1(), fw_cfg(DesignMode::Hybrid, 256 * 6 * 24));
+  EXPECT_NEAR(small.run.gflops() / large.run.gflops(), 1.0, 0.25);
+}
+
+TEST(FwAnalytic, Fig7SweepShapes) {
+  // Fig. 7 at n = 18432, b = 256: minimum at l1 = 2; l1 = 1 overloads the
+  // FPGA; FPGA-only (l1 = 0) beats several hybrid points.
+  auto iter1 = [&](long long l1) {
+    core::FwConfig cfg = fw_cfg(DesignMode::Hybrid, 18432);
+    cfg.l1 = l1;
+    cfg.max_iterations = 1;
+    return core::fw_analytic(xd1(), cfg).run.seconds;
+  };
+  const double at2 = iter1(2);
+  EXPECT_LT(at2, iter1(12));  // far better than CPU-only
+  EXPECT_LT(at2, iter1(6));
+  EXPECT_LT(at2, iter1(4));
+  EXPECT_LT(at2, iter1(1));   // l1 = 1 overloads the FPGA
+  EXPECT_LT(at2, iter1(0));   // and beats FPGA-only, slightly
+  // FPGA-only beats mid-range hybrid splits (paper's observation).
+  EXPECT_LT(iter1(0), iter1(4));
+  // Latency decreases monotonically from l1 = 12 down to the optimum.
+  EXPECT_GT(iter1(12), iter1(8));
+  EXPECT_GT(iter1(8), iter1(4));
+  EXPECT_GT(iter1(4), iter1(2));
+}
+
+TEST(FwAnalytic, FlopAccountingIs2NCubed) {
+  const auto rep = core::fw_analytic(xd1(), fw_cfg(DesignMode::Hybrid));
+  const double n = 92160.0;
+  EXPECT_NEAR(rep.run.total_flops, 2.0 * n * n * n, 1e-6 * 2.0 * n * n * n);
+}
+
+TEST(FwAnalytic, ProcessorOnlyHasNoFpgaWork) {
+  const auto rep =
+      core::fw_analytic(xd1(), fw_cfg(DesignMode::ProcessorOnly));
+  EXPECT_EQ(rep.run.fpga_flops, 0.0);
+}
+
+TEST(FwAnalytic, TreeBcastHelpsAndPreservesShape) {
+  auto cfg = fw_cfg(DesignMode::Hybrid);
+  auto tree = cfg;
+  tree.tree_bcast = true;
+  const auto serial = core::fw_analytic(xd1(), cfg);
+  const auto treed = core::fw_analytic(xd1(), tree);
+  EXPECT_LT(treed.run.seconds, serial.run.seconds);
+  // Broadcast is a small share of an FW phase: the gain is modest.
+  EXPECT_GT(treed.run.seconds, serial.run.seconds * 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Predictor (§4.5)
+
+TEST(Predictor, LuPredictionBoundsSimulatedRun) {
+  const auto cfg = lu_cfg(DesignMode::Hybrid);
+  const auto pred = core::predict_lu(xd1(), cfg);
+  const auto rep = core::lu_analytic(xd1(), cfg);
+  // The prediction assumes perfect overlap, so it is optimistic; Section 6.2
+  // reports the implementation reaching >= 86% of it.
+  EXPECT_LE(pred.latency_seconds(), rep.run.seconds * 1.001);
+  EXPECT_GT(rep.run.gflops() / pred.gflops(), 0.70);
+}
+
+TEST(Predictor, FwPredictionBoundsSimulatedRun) {
+  const auto cfg = fw_cfg(DesignMode::Hybrid);
+  const auto pred = core::predict_fw(xd1(), cfg);
+  const auto rep = core::fw_analytic(xd1(), cfg);
+  EXPECT_LE(pred.latency_seconds(), rep.run.seconds * 1.001);
+  // Section 6.2: ~96% of the prediction for FW.
+  EXPECT_GT(rep.run.gflops() / pred.gflops(), 0.85);
+}
+
+TEST(Predictor, LatencyIsMaxOfSides) {
+  const auto pred = core::predict_fw(xd1(), fw_cfg(DesignMode::Hybrid));
+  EXPECT_DOUBLE_EQ(pred.latency_seconds(), std::max(pred.t_tp, pred.t_tf));
+  EXPECT_GT(pred.t_tp, 0.0);
+  EXPECT_GT(pred.t_tf, 0.0);
+}
+
+TEST(Predictor, FpgaOnlyLuIsFpgaBound) {
+  const auto pred = core::predict_lu(xd1(), lu_cfg(DesignMode::FpgaOnly));
+  EXPECT_GT(pred.t_tf, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,312 @@
+// Tests for the FPGA device and kernel models: capacity checks, the [21]
+// matrix-multiply cycle formulae, the [18] Floyd–Warshall cycle formulae,
+// and bit-fidelity of the functional kernels against the host paths (both
+// native-FPU and soft-IEEE-754 backends).
+
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "fpga/fw_kernel.hpp"
+#include "fpga/matmul_array.hpp"
+#include "fpga/pe_cycle_sim.hpp"
+#include "fpga/resources.hpp"
+#include "graph/floyd_warshall.hpp"
+#include "graph/generate.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/generate.hpp"
+
+namespace fpga = rcs::fpga;
+namespace la = rcs::linalg;
+namespace gr = rcs::graph;
+
+namespace {
+
+TEST(Device, Xc2vp50MatmulParameters) {
+  const auto d = fpga::DeviceConfig::xc2vp50_matmul();
+  EXPECT_EQ(d.pe_count, 8);            // k = 8
+  EXPECT_EQ(d.ops_per_cycle(), 16);    // O_f = 16
+  EXPECT_DOUBLE_EQ(d.clock_hz, 130e6); // F_f = 130 MHz
+  EXPECT_NEAR(d.peak_flops(), 2.08e9, 1e6);
+  EXPECT_DOUBLE_EQ(d.dram_bytes_per_s, 1.04e9);  // B_d
+}
+
+TEST(Device, Xc2vp50FwParameters) {
+  const auto d = fpga::DeviceConfig::xc2vp50_floyd_warshall();
+  EXPECT_EQ(d.pe_count, 8);
+  EXPECT_DOUBLE_EQ(d.clock_hz, 120e6);
+  EXPECT_DOUBLE_EQ(d.dram_bytes_per_s, 0.96e9);
+}
+
+TEST(Device, SecondsForCycles) {
+  const auto d = fpga::DeviceConfig::xc2vp50_matmul();
+  EXPECT_DOUBLE_EQ(d.seconds_for_cycles(130e6), 1.0);
+}
+
+TEST(Device, SramCapacityEnforced) {
+  const auto d = fpga::DeviceConfig::xc2vp50_matmul();
+  EXPECT_NO_THROW(fpga::require_sram(d, (8u << 20) / 8, "fits exactly"));
+  EXPECT_THROW(fpga::require_sram(d, (8u << 20) / 8 + 1, "too big"),
+               rcs::Error);
+}
+
+TEST(MatMulArray, CycleFormulaMatchesPaper) {
+  fpga::MatMulArray array(fpga::DeviceConfig::xc2vp50_matmul());
+  const long long k = array.k();
+  // One k x k submatrix multiply has effective latency k^2 cycles [21].
+  EXPECT_EQ(array.cycles(k, k, k), k * k);
+  // The paper's stripe shape: b_f x k times k x (b/(p-1)) on 5 workers
+  // costs b_f * b / (p-1) cycles.
+  const long long b = 3000, b_f = 1280, p = 6;
+  EXPECT_EQ(array.cycles(b_f, k, b / (p - 1)), b_f * b / (p - 1));
+  // A whole opMM (b/k stripes) therefore costs b_f * b^2 / ((p-1) k).
+  EXPECT_EQ((b / k) * array.cycles(b_f, k, b / (p - 1)),
+            b_f * b * b / ((p - 1) * k));
+}
+
+TEST(MatMulArray, CyclesRoundUpPartialTiles) {
+  fpga::MatMulArray array(fpga::DeviceConfig::xc2vp50_matmul());
+  EXPECT_EQ(array.cycles(1, 1, 1), 64);   // one k x k tile minimum
+  EXPECT_EQ(array.cycles(9, 8, 8), 128);  // 2 tiles in m
+  EXPECT_EQ(array.cycles(0, 8, 8), 0);
+  EXPECT_THROW(array.cycles(-1, 8, 8), rcs::Error);
+}
+
+TEST(MatMulArray, SecondsScaleWithClock) {
+  auto dev = fpga::DeviceConfig::xc2vp50_matmul();
+  fpga::MatMulArray a1(dev);
+  dev.clock_hz *= 2;
+  fpga::MatMulArray a2(dev);
+  EXPECT_DOUBLE_EQ(a1.seconds(64, 64, 64), 2.0 * a2.seconds(64, 64, 64));
+}
+
+TEST(MatMulArray, FunctionalMatchesHostGemmBitwise) {
+  fpga::MatMulArray array(fpga::DeviceConfig::xc2vp50_matmul());
+  la::Matrix c = la::random_matrix(24, 16, 1);
+  la::Matrix d = la::random_matrix(16, 20, 2);
+  la::Matrix e1 = la::random_matrix(24, 20, 3);
+  la::Matrix e2 = e1;
+  array.multiply_accumulate(c.view(), d.view(), e1.view());
+  la::gemm(c.view(), d.view(), e2.view());
+  EXPECT_TRUE(la::bit_equal(e1.view(), e2.view()));
+}
+
+TEST(MatMulArray, SoftBackendMatchesNativeBitwise) {
+  fpga::MatMulArray array(fpga::DeviceConfig::xc2vp50_matmul());
+  la::Matrix c = la::random_matrix(12, 10, 4, -5.0, 5.0);
+  la::Matrix d = la::random_matrix(10, 8, 5, -5.0, 5.0);
+  la::Matrix e1(12, 8), e2(12, 8);
+  array.multiply_accumulate(c.view(), d.view(), e1.view());
+  array.multiply_accumulate_soft(c.view(), d.view(), e2.view());
+  EXPECT_TRUE(la::bit_equal(e1.view(), e2.view()));
+}
+
+TEST(MatMulArray, ResultTileMustFitSram) {
+  auto dev = fpga::DeviceConfig::xc2vp50_matmul();
+  dev.sram_bytes = 64;  // 8 words only
+  fpga::MatMulArray array(dev);
+  la::Matrix c = la::random_matrix(4, 4, 6);
+  la::Matrix d = la::random_matrix(4, 4, 7);
+  la::Matrix e(4, 4);  // 16 words > 8
+  EXPECT_THROW(array.multiply_accumulate(c.view(), d.view(), e.view()),
+               rcs::Error);
+}
+
+TEST(MatMulArray, InputBytesFormula) {
+  fpga::MatMulArray array(fpga::DeviceConfig::xc2vp50_matmul());
+  EXPECT_EQ(array.input_bytes(10, 8, 5), (80u + 40u) * 8u);
+  EXPECT_EQ(array.sram_words(10, 5), 50u);
+}
+
+TEST(FwKernel, CycleFormulaMatchesPaper) {
+  fpga::FwKernel kernel(fpga::DeviceConfig::xc2vp50_floyd_warshall());
+  // Latency of a b x b block task is 2 b^3 / k cycles [18].
+  EXPECT_EQ(kernel.cycles(256), 2LL * 256 * 256 * 256 / 8);
+  EXPECT_EQ(kernel.cycles(0), 0);
+  // At 120 MHz this is the paper's ~35 ms per block.
+  EXPECT_NEAR(kernel.seconds(256), 0.03495, 5e-4);
+}
+
+TEST(FwKernel, MemoryFootprints) {
+  fpga::FwKernel kernel(fpga::DeviceConfig::xc2vp50_floyd_warshall());
+  EXPECT_EQ(kernel.sram_words(256), 2u * 256u * 256u);
+  EXPECT_EQ(kernel.input_bytes(256), 2u * 256u * 256u * 8u);
+  // b = 256 blocks need 2 b^2 words = 1 MB of SRAM: fits the 8 MB budget.
+  EXPECT_NO_THROW(kernel.require_fits(256));
+  // The paper's constraint 2 b^2 <= 8 MB / b_w gives b <= 724.
+  EXPECT_NO_THROW(kernel.require_fits(724));
+  EXPECT_THROW(kernel.require_fits(725), rcs::Error);
+}
+
+TEST(FwKernel, FunctionalMatchesHostKernelBitwise) {
+  fpga::FwKernel kernel(fpga::DeviceConfig::xc2vp50_floyd_warshall());
+  la::Matrix d = gr::random_digraph(16, 11, 0.5);
+  la::Matrix a = gr::random_digraph(16, 12, 0.5);
+  la::Matrix b = gr::random_digraph(16, 13, 0.5);
+  la::Matrix d2 = d;
+  kernel.run_block(d.view(), a.view(), b.view());
+  gr::fw_block(d2.view(), a.view(), b.view());
+  EXPECT_TRUE(la::bit_equal(d.view(), d2.view()));
+}
+
+TEST(FwKernel, SoftBackendMatchesNativeOnAllOps) {
+  fpga::FwKernel kernel(fpga::DeviceConfig::xc2vp50_floyd_warshall());
+  // op1-style in-place aliasing.
+  la::Matrix d1 = gr::random_digraph(12, 21, 0.6);
+  la::Matrix d2 = d1;
+  kernel.run_block(d1.view(), d1.view(), d1.view());
+  kernel.run_block_soft(d2.view(), d2.view(), d2.view());
+  EXPECT_TRUE(la::bit_equal(d1.view(), d2.view()));
+  // op3-style disjoint operands.
+  la::Matrix a = gr::random_digraph(12, 22, 0.6);
+  la::Matrix b = gr::random_digraph(12, 23, 0.6);
+  la::Matrix c1 = gr::random_digraph(12, 24, 0.6);
+  la::Matrix c2 = c1;
+  kernel.run_block(c1.view(), a.view(), b.view());
+  kernel.run_block_soft(c2.view(), a.view(), b.view());
+  EXPECT_TRUE(la::bit_equal(c1.view(), c2.view()));
+}
+
+TEST(FwKernel, HandlesInfinityEdges) {
+  fpga::FwKernel kernel(fpga::DeviceConfig::xc2vp50_floyd_warshall());
+  la::Matrix d(4, 4, gr::kNoEdge);
+  for (int i = 0; i < 4; ++i) d(i, i) = 0.0;
+  d(0, 1) = 1.0;
+  d(1, 2) = 1.0;
+  kernel.run_block(d.view(), d.view(), d.view());
+  EXPECT_EQ(d(0, 2), 2.0);
+  EXPECT_EQ(d(3, 0), gr::kNoEdge);
+}
+
+TEST(Synthesis, Xc2vp50MatmulMatchesPaperOutcome) {
+  // "At most 8 PEs can be configured ... The clock speed of the design
+  // F_f = 130 MHz" (Section 6.1).
+  const auto synth = fpga::synthesize_matmul(fpga::ResourceBudget::xc2vp50());
+  EXPECT_EQ(synth.pe_count, 8);
+  EXPECT_NEAR(synth.clock_hz, 130e6, 3e6);
+  EXPECT_LT(synth.slice_utilization, 0.85);
+  EXPECT_GT(synth.slice_utilization, 0.5);
+  EXPECT_NEAR(synth.peak_flops(), 2.08e9, 0.06e9);
+}
+
+TEST(Synthesis, Xc2vp50FwMatchesPaperOutcome) {
+  // "At most k = 8 PEs can be configured ... achieved 120 MHz" (§6.1).
+  const auto synth =
+      fpga::synthesize_floyd_warshall(fpga::ResourceBudget::xc2vp50());
+  EXPECT_EQ(synth.pe_count, 8);
+  EXPECT_NEAR(synth.clock_hz, 120e6, 3e6);
+}
+
+TEST(Synthesis, Virtex4FitsMorePes) {
+  const auto lx100 =
+      fpga::synthesize_matmul(fpga::ResourceBudget::virtex4_lx100());
+  EXPECT_EQ(lx100.pe_count, 16);
+  const auto lx200 =
+      fpga::synthesize_matmul(fpga::ResourceBudget::virtex4_lx200());
+  EXPECT_GT(lx200.pe_count, lx100.pe_count);
+  // Bigger device, same PE: faster overall design despite congestion.
+  EXPECT_GT(lx200.peak_flops(), lx100.peak_flops());
+}
+
+TEST(Synthesis, ResourceConstraintsRespected) {
+  const auto dev = fpga::ResourceBudget::xc2vp50();
+  const auto mm = fpga::synthesize_matmul(dev);
+  EXPECT_LE(mm.mult18_used, dev.mult18);
+  EXPECT_LE(mm.bram_blocks_used, dev.bram_blocks);
+  // A tiny hypothetical device fits nothing.
+  fpga::ResourceBudget tiny{"tiny", 1500, 4, 8, 100e6};
+  EXPECT_EQ(fpga::synthesize_matmul(tiny).pe_count, 0);
+}
+
+TEST(Synthesis, Mult18BudgetCanBindBeforeSlices) {
+  fpga::ResourceBudget few_mults{"few-mults", 100000, 300, 18, 200e6};
+  const auto synth = fpga::synthesize_matmul(few_mults);
+  EXPECT_EQ(synth.pe_count, 2);  // 18 MULT18 / 9 per PE, below the 4-step
+}
+
+TEST(Synthesis, ToDeviceConfigRoundTrips) {
+  const auto dev = fpga::ResourceBudget::xc2vp50();
+  const auto synth = fpga::synthesize_matmul(dev);
+  const auto cfg = fpga::to_device_config(dev, synth, "matmul", 8u << 20,
+                                          /*dram path*/ 2.8e9);
+  EXPECT_EQ(cfg.pe_count, synth.pe_count);
+  EXPECT_DOUBLE_EQ(cfg.clock_hz, synth.clock_hz);
+  // One word per design clock beats the 2.8 GB/s RapidArray limit here.
+  EXPECT_NEAR(cfg.dram_bytes_per_s, synth.clock_hz * 8.0, 1.0);
+  // A slow board link caps B_d instead.
+  const auto capped =
+      fpga::to_device_config(dev, synth, "matmul", 8u << 20, 0.5e9);
+  EXPECT_DOUBLE_EQ(capped.dram_bytes_per_s, 0.5e9);
+  // The synthesized config drives the kernel model directly.
+  fpga::MatMulArray array(cfg);
+  EXPECT_EQ(array.k(), synth.pe_count);
+}
+
+TEST(Synthesis, UnfittableKernelThrowsOnConversion) {
+  fpga::ResourceBudget tiny{"tiny", 1500, 4, 8, 100e6};
+  const auto synth = fpga::synthesize_matmul(tiny);
+  EXPECT_THROW(
+      fpga::to_device_config(tiny, synth, "matmul", 8u << 20, 1e9),
+      rcs::Error);
+}
+
+TEST(PeCycleSim, AmortizedLatencyConvergesToKSquared) {
+  // [21]: "the effective latency for each submatrix multiply is k^2 FPGA
+  // clock cycles". Derive it: as more tiles stream back to back, the
+  // fill/drain overhead amortizes away and cycles/tile -> k^2.
+  const int k = 8;
+  const auto few = fpga::simulate_pe_array(k, 4, rcs::fparith::kMultiplierPipeline,
+                                           rcs::fparith::kAdderPipeline);
+  const auto many = fpga::simulate_pe_array(k, 4000,
+                                            rcs::fparith::kMultiplierPipeline,
+                                            rcs::fparith::kAdderPipeline);
+  EXPECT_GT(few.amortized_cycles_per_tile(4), double(k * k));
+  EXPECT_NEAR(many.amortized_cycles_per_tile(4000), double(k * k), 0.1);
+  EXPECT_GT(many.multiplier_utilization, 0.999);
+}
+
+TEST(PeCycleSim, MatchesMatMulArraySteadyState) {
+  // The aggregate model's cycle count equals the microsimulation's steady
+  // phase; the microsimulation adds only the (constant) fill/drain.
+  fpga::MatMulArray array(fpga::DeviceConfig::xc2vp50_matmul());
+  const int k = array.k();
+  const long long tiles = 375;  // one paper stripe: (b/k) = 375 tiles
+  const auto sim = fpga::simulate_pe_array(k, tiles,
+                                           rcs::fparith::kMultiplierPipeline,
+                                           rcs::fparith::kAdderPipeline);
+  EXPECT_EQ(sim.steady_cycles, array.cycles(k, k * tiles, k));
+  EXPECT_LT(sim.drain_cycles, 100);  // constant, independent of tiles
+}
+
+TEST(PeCycleSim, PartialBankCountCoversAdderLatency) {
+  // With k = 8 and a 14-deep adder, 2 banks make each bank's reuse
+  // distance 16 >= 14 cycles; k = 16 needs only 1.
+  const auto k8 = fpga::simulate_pe_array(8, 10, rcs::fparith::kMultiplierPipeline,
+                                          rcs::fparith::kAdderPipeline);
+  EXPECT_EQ(k8.partial_banks, 2);
+  const auto k16 = fpga::simulate_pe_array(16, 10, rcs::fparith::kMultiplierPipeline,
+                                           rcs::fparith::kAdderPipeline);
+  EXPECT_EQ(k16.partial_banks, 1);
+  // More banks -> a deeper final reduction -> more drain.
+  const auto k4 = fpga::simulate_pe_array(4, 10, rcs::fparith::kMultiplierPipeline,
+                                          rcs::fparith::kAdderPipeline);
+  EXPECT_GT(k4.partial_banks, k8.partial_banks);
+  EXPECT_GT(k4.drain_cycles, k16.drain_cycles);
+}
+
+TEST(PeCycleSim, RejectsNonPipelinedCores) {
+  EXPECT_THROW(fpga::simulate_pe_array(8, 1, rcs::fparith::CorePipeline{10, 2},
+                                       rcs::fparith::kAdderPipeline),
+               rcs::Error);
+  EXPECT_THROW(fpga::simulate_pe_array(0, 1, rcs::fparith::kMultiplierPipeline,
+                                       rcs::fparith::kAdderPipeline),
+               rcs::Error);
+}
+
+TEST(FwKernel, BramRequirementEnforcedAtConstruction) {
+  auto dev = fpga::DeviceConfig::xc2vp50_floyd_warshall();
+  dev.pe_count = 8;
+  dev.bram_bytes = 2 * 8 * 8 * 8 - 1;  // one byte short of 2k^2 words
+  EXPECT_THROW(fpga::FwKernel{dev}, rcs::Error);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for Matrix Market I/O: round trips, format variants, symmetric
+// expansion, sparse densification, and error reporting.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/floyd_warshall.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/io.hpp"
+
+namespace la = rcs::linalg;
+
+namespace {
+
+TEST(MatrixMarket, DenseRoundTripIsBitExact) {
+  const la::Matrix m = la::random_matrix(7, 5, 42, -1e3, 1e3);
+  std::stringstream ss;
+  la::write_matrix_market(ss, m.view());
+  const la::Matrix back = la::read_matrix_market(ss);
+  EXPECT_TRUE(la::bit_equal(m.view(), back.view()));
+}
+
+TEST(MatrixMarket, RoundTripsExtremeValues) {
+  la::Matrix m(2, 2);
+  m(0, 0) = 1e-308;
+  m(0, 1) = -1.7976931348623157e308;
+  m(1, 0) = 3.141592653589793;
+  m(1, 1) = -0.0;
+  std::stringstream ss;
+  la::write_matrix_market(ss, m.view());
+  const la::Matrix back = la::read_matrix_market(ss);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(m(i, j), back(i, j));
+}
+
+TEST(MatrixMarket, ReadsCoordinateFormat) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "2 3 -1.0\n"
+      "3 4 7\n");
+  const la::Matrix m = la::read_matrix_market(ss);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(0, 0), 2.5);
+  EXPECT_EQ(m(1, 2), -1.0);
+  EXPECT_EQ(m(2, 3), 7.0);
+  EXPECT_EQ(m(1, 1), 0.0);  // default missing
+}
+
+TEST(MatrixMarket, MissingValueForGraphs) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 2 3.5\n");
+  const la::Matrix m = la::read_matrix_market(ss, rcs::graph::kNoEdge);
+  EXPECT_EQ(m(0, 1), 3.5);
+  EXPECT_EQ(m(1, 0), rcs::graph::kNoEdge);
+}
+
+TEST(MatrixMarket, SymmetricCoordinateExpands) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "3 3 1.0\n");
+  const la::Matrix m = la::read_matrix_market(ss);
+  EXPECT_EQ(m(1, 0), 4.0);
+  EXPECT_EQ(m(0, 1), 4.0);
+  EXPECT_EQ(m(2, 2), 1.0);
+}
+
+TEST(MatrixMarket, SymmetricArrayExpands) {
+  // Lower triangle, column-major: columns (1..3): c1: m11 m21 m31, c2: m22
+  // m32, c3: m33.
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real symmetric\n"
+      "3 3\n"
+      "1\n2\n3\n4\n5\n6\n");
+  const la::Matrix m = la::read_matrix_market(ss);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 0), 2.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(2, 1), 5.0);
+  EXPECT_EQ(m(1, 2), 5.0);
+  EXPECT_EQ(m(2, 2), 6.0);
+}
+
+TEST(MatrixMarket, IntegerFieldAccepted) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "2 2 9\n");
+  EXPECT_EQ(la::read_matrix_market(ss)(1, 1), 9.0);
+}
+
+TEST(MatrixMarket, RejectsBadInput) {
+  {
+    std::stringstream ss("not a matrix market file\n");
+    EXPECT_THROW(la::read_matrix_market(ss), rcs::Error);
+  }
+  {
+    std::stringstream ss("%%MatrixMarket matrix coordinate complex general\n");
+    EXPECT_THROW(la::read_matrix_market(ss), rcs::Error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");  // second entry missing
+    EXPECT_THROW(la::read_matrix_market(ss), rcs::Error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");  // out of range
+    EXPECT_THROW(la::read_matrix_market(ss), rcs::Error);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const la::Matrix m = la::diagonally_dominant(6, 77);
+  const std::string path = ::testing::TempDir() + "/rcs_io_test.mtx";
+  la::save_matrix_market(path, m.view());
+  const la::Matrix back = la::load_matrix_market(path);
+  EXPECT_TRUE(la::bit_equal(m.view(), back.view()));
+  EXPECT_THROW(la::load_matrix_market("/nonexistent/dir/x.mtx"), rcs::Error);
+}
+
+}  // namespace

@@ -1,0 +1,340 @@
+// Tests for MiniMPI: point-to-point messaging, collectives, virtual-time
+// semantics (§4.3 accounting), determinism, and the matrix channel.
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/generate.hpp"
+#include "net/matrix_channel.hpp"
+#include "net/minimpi.hpp"
+
+namespace net = rcs::net;
+using rcs::linalg::Matrix;
+
+namespace {
+
+net::NetworkParams fast_net() {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e9;
+  np.latency_s = 0.0;
+  return np;
+}
+
+TEST(MiniMpi, SendRecvMovesBytes) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      const double payload[3] = {1.0, 2.0, 3.0};
+      comm.send_doubles(1, 7, payload, 3);
+    } else {
+      net::Message m = comm.recv(0, 7);
+      auto vals = m.as_doubles();
+      ASSERT_EQ(vals.size(), 3u);
+      EXPECT_EQ(vals[1], 2.0);
+      EXPECT_EQ(m.src, 0);
+      EXPECT_EQ(m.tag, 7);
+    }
+  });
+}
+
+TEST(MiniMpi, TagMatchingIsSelective) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 111);
+      comm.send_value(1, 2, 222);
+    } else {
+      // Receive out of send order: tag matching must pick the right one.
+      EXPECT_EQ(comm.recv(0, 2).as<int>(), 222);
+      EXPECT_EQ(comm.recv(0, 1).as<int>(), 111);
+    }
+  });
+}
+
+TEST(MiniMpi, SendChargesSenderClock) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(125'000'000 / 8, 1.0);  // 125 MB -> 0.125 s
+      comm.send_doubles(1, 3, big.data(), big.size());
+      EXPECT_NEAR(comm.clock().now(), 0.125, 1e-9);
+    } else {
+      net::Message m = comm.recv(0, 3);
+      EXPECT_NEAR(m.arrival, 0.125, 1e-9);
+      EXPECT_NEAR(comm.clock().now(), 0.125, 1e-9);
+    }
+  });
+}
+
+TEST(MiniMpi, RecvNeverMovesClockBackwards) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 1);  // tiny: arrives almost immediately
+    } else {
+      comm.clock().advance(10.0);  // receiver was busy computing
+      comm.recv(0, 1);
+      EXPECT_GE(comm.clock().now(), 10.0);
+    }
+  });
+}
+
+TEST(MiniMpi, BcastDeliversToAll) {
+  net::World world(4, fast_net());
+  std::atomic<int> sum{0};
+  world.run([&](net::Comm& comm) {
+    std::vector<double> v;
+    if (comm.rank() == 2) v = {5.0, 6.0};
+    v = comm.bcast_doubles(2, 9, std::move(v));
+    ASSERT_EQ(v.size(), 2u);
+    sum += static_cast<int>(v[0] + v[1]);
+  });
+  EXPECT_EQ(sum.load(), 4 * 11);
+}
+
+TEST(MiniMpi, BcastIsRootSerialized) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;  // 1 MB/s so costs are visible
+  net::World world(3, np);
+  world.run([](net::Comm& comm) {
+    std::vector<double> v(125'000, 1.0);  // 1 MB -> 1 s per destination
+    if (comm.rank() == 0) {
+      comm.bcast_doubles(0, 1, std::move(v));
+      EXPECT_NEAR(comm.clock().now(), 2.0, 1e-9);  // two serialized sends
+    } else {
+      comm.bcast_doubles(0, 1, {});
+      // rank 1 gets it after 1 s, rank 2 after 2 s.
+      EXPECT_NEAR(comm.clock().now(), comm.rank() == 1 ? 1.0 : 2.0, 1e-9);
+    }
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronizesClocks) {
+  net::World world(3, fast_net());
+  world.run([](net::Comm& comm) {
+    comm.clock().advance(comm.rank() * 2.0);  // 0, 2, 4 seconds
+    comm.barrier();
+    EXPECT_GE(comm.clock().now(), 4.0);
+    EXPECT_LT(comm.clock().now(), 4.1);  // only tiny control traffic on top
+  });
+}
+
+TEST(MiniMpi, GatherCollectsFromEveryRank) {
+  net::World world(4, fast_net());
+  world.run([](net::Comm& comm) {
+    auto all = comm.gather_double(0, 5, comm.rank() * 1.5);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(all[r], r * 1.5);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(MiniMpi, AllreduceMaxAgreesEverywhere) {
+  net::World world(5, fast_net());
+  world.run([](net::Comm& comm) {
+    const double m = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(m, 4.0);
+  });
+}
+
+TEST(MiniMpi, MakespanReflectsLatestClock) {
+  net::World world(3, fast_net());
+  world.run([](net::Comm& comm) {
+    comm.clock().advance(comm.rank() == 1 ? 7.0 : 1.0);
+  });
+  EXPECT_DOUBLE_EQ(world.makespan(), 7.0);
+}
+
+TEST(MiniMpi, RankExceptionPropagates) {
+  net::World world(2, fast_net());
+  EXPECT_THROW(world.run([](net::Comm& comm) {
+    if (comm.rank() == 1) throw rcs::Error("boom");
+  }),
+               rcs::Error);
+}
+
+TEST(MiniMpi, SelfSendRejected) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send_value(0, 1, 1), rcs::Error);
+    }
+  });
+}
+
+TEST(MiniMpi, DeterministicTimingAcrossRuns) {
+  auto run_once = [] {
+    net::World world(4, fast_net());
+    world.run([](net::Comm& comm) {
+      // Ring exchange with growing payloads.
+      std::vector<double> v(1000 * (comm.rank() + 1), 1.0);
+      const int next = (comm.rank() + 1) % comm.size();
+      const int prev = (comm.rank() + 3) % comm.size();
+      comm.send_doubles(next, 1, v.data(), v.size());
+      comm.recv(prev, 1);
+      comm.barrier();
+    });
+    return world.makespan();
+  };
+  const double t1 = run_once();
+  const double t2 = run_once();
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(MiniMpi, BytesSentAccounted) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      const double v = 1.0;
+      comm.send_doubles(1, 1, &v, 1);
+      EXPECT_EQ(comm.bytes_sent(), 8u);
+    } else {
+      comm.recv(0, 1);
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+    }
+  });
+}
+
+TEST(MiniMpi, IsendOverlapsCpu) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;  // 1 MB/s: transfers are slow and visible
+  np.latency_s = 1e-6;
+  net::World world(2, np);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(125'000, 1.0);  // 1 MB -> 1 s on the wire
+      comm.isend_bytes(1, 3, big.data(), big.size() * 8);
+      // The CPU paid only the setup latency.
+      EXPECT_NEAR(comm.clock().now(), 1e-6, 1e-9);
+      EXPECT_NEAR(comm.nic_free_at(), 1.0 + 1e-6, 1e-6);
+    } else {
+      net::Message m = comm.recv(0, 3);
+      EXPECT_NEAR(m.arrival, 1.0, 1e-3);  // arrival gated on the NIC
+      EXPECT_EQ(m.payload.size(), 1'000'000u);
+    }
+  });
+}
+
+TEST(MiniMpi, IsendsSerializeOnTheNic) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;
+  net::World world(3, np);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buf(500'000);  // 0.5 s each
+      comm.isend_bytes(1, 1, buf.data(), buf.size());
+      comm.isend_bytes(2, 1, buf.data(), buf.size());
+      EXPECT_NEAR(comm.nic_free_at(), 1.0, 1e-6);
+    } else if (comm.rank() == 1) {
+      EXPECT_NEAR(comm.recv(0, 1).arrival, 0.5, 1e-3);
+    } else {
+      EXPECT_NEAR(comm.recv(0, 1).arrival, 1.0, 1e-3);
+    }
+  });
+}
+
+TEST(MiniMpi, TreeBcastDeliversToAll) {
+  for (int p : {2, 3, 4, 5, 7, 8}) {
+    net::World world(p, fast_net());
+    world.run([](net::Comm& comm) {
+      std::vector<std::byte> payload;
+      if (comm.rank() == 1 % comm.size()) payload.resize(64, std::byte{42});
+      payload = comm.bcast_tree(1 % comm.size(), 9, std::move(payload));
+      ASSERT_EQ(payload.size(), 64u);
+      EXPECT_EQ(payload[10], std::byte{42});
+    });
+  }
+}
+
+TEST(MiniMpi, TreeBcastBeatsSerialBcastInSimTime) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;  // 1 MB/s
+  const std::size_t bytes = 1'000'000;
+  auto last_arrival = [&](bool tree) {
+    net::World world(8, np);
+    world.run([&](net::Comm& comm) {
+      std::vector<std::byte> payload;
+      if (comm.rank() == 0) payload.resize(bytes);
+      if (tree) {
+        comm.bcast_tree(0, 1, std::move(payload));
+      } else {
+        comm.bcast(0, 1, std::move(payload));
+      }
+    });
+    return world.makespan();
+  };
+  const double serial = last_arrival(false);
+  const double tree = last_arrival(true);
+  EXPECT_NEAR(serial, 7.0, 0.01);  // root sends 7 copies back to back
+  EXPECT_NEAR(tree, 3.0, 0.01);    // log2(8) rounds
+}
+
+TEST(MiniMpi, AllgatherConcatenatesInRankOrder) {
+  net::World world(4, fast_net());
+  world.run([](net::Comm& comm) {
+    std::vector<double> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                             static_cast<double>(comm.rank()));
+    const auto all = comm.allgather_doubles(11, mine);
+    ASSERT_EQ(all.size(), 1u + 2u + 3u + 4u);
+    EXPECT_EQ(all[0], 0.0);
+    EXPECT_EQ(all[1], 1.0);
+    EXPECT_EQ(all[2], 1.0);
+    EXPECT_EQ(all[3], 2.0);
+    EXPECT_EQ(all.back(), 3.0);
+  });
+}
+
+TEST(MiniMpi, ReduceSumCollects) {
+  net::World world(5, fast_net());
+  world.run([](net::Comm& comm) {
+    const double s = comm.reduce_sum(2, 13, comm.rank() * 1.0);
+    if (comm.rank() == 2) {
+      EXPECT_DOUBLE_EQ(s, 0.0 + 1 + 2 + 3 + 4);
+    } else {
+      EXPECT_DOUBLE_EQ(s, 0.0);
+    }
+  });
+}
+
+TEST(MatrixChannel, RoundTripsStridedViews) {
+  net::World world(2, fast_net());
+  Matrix src = rcs::linalg::random_matrix(8, 8, 5);
+  world.run([&](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      net::send_matrix(comm, 1, 4, src.block(2, 3, 4, 5));
+    } else {
+      Matrix got = net::recv_matrix(comm, 0, 4);
+      ASSERT_EQ(got.rows(), 4u);
+      ASSERT_EQ(got.cols(), 5u);
+      EXPECT_TRUE(rcs::linalg::bit_equal(got.view(), src.block(2, 3, 4, 5)));
+    }
+  });
+}
+
+TEST(MatrixChannel, BcastMatrix) {
+  net::World world(3, fast_net());
+  Matrix src = rcs::linalg::random_matrix(4, 4, 6);
+  world.run([&](net::Comm& comm) {
+    Matrix m = comm.rank() == 1 ? src : Matrix();
+    m = net::bcast_matrix(comm, 1, 2, std::move(m));
+    EXPECT_TRUE(rcs::linalg::bit_equal(m.view(), src.view()));
+  });
+}
+
+TEST(MatrixChannel, WireBytesFormula) {
+  EXPECT_EQ(net::matrix_wire_bytes(3, 4), 16u + 96u);
+}
+
+TEST(NetworkParams, TransferTime) {
+  net::NetworkParams np;
+  np.bytes_per_s = 2e9;
+  np.latency_s = 1e-6;
+  EXPECT_DOUBLE_EQ(np.transfer_time(2'000'000'000ull), 1.0 + 1e-6);
+}
+
+}  // namespace

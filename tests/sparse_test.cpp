@@ -1,0 +1,97 @@
+// Tests for the CSR sparse substrate: construction invariants, SpMV
+// correctness against the dense path, round trips, and the 2-D Laplacian
+// generator's structure.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/sparse.hpp"
+
+namespace la = rcs::linalg;
+
+namespace {
+
+TEST(Csr, FromDenseRoundTrips) {
+  la::Matrix a = la::random_matrix(7, 9, 3);
+  a(2, 3) = 0.0;
+  a(6, 0) = 0.0;
+  const auto csr = la::CsrMatrix::from_dense(a);
+  EXPECT_EQ(csr.nnz(), 7u * 9u - 2u);
+  EXPECT_TRUE(la::bit_equal(csr.to_dense().view(), a.view()));
+}
+
+TEST(Csr, ThresholdDropsSmallEntries) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1e-9;
+  a(1, 1) = -2.0;
+  const auto csr = la::CsrMatrix::from_dense(a, 1e-6);
+  EXPECT_EQ(csr.nnz(), 2u);
+}
+
+TEST(Csr, SpmvMatchesDenseGemv) {
+  const la::Matrix a = la::random_matrix(16, 16, 5);
+  const auto csr = la::CsrMatrix::from_dense(a);
+  const la::Matrix x = la::random_matrix(16, 1, 7);
+  la::Matrix y_dense(16, 1);
+  la::gemm_overwrite(a.view(), x.view(), y_dense.view());
+  std::vector<double> y(16);
+  csr.spmv(x.data(), y.data());
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(y[i], y_dense(i, 0), 1e-12);
+}
+
+TEST(Csr, ConstructorValidates) {
+  EXPECT_THROW(la::CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), rcs::Error);  // ptr
+  EXPECT_THROW(la::CsrMatrix(2, 2, {0, 1, 1}, {0}, {}), rcs::Error);  // sizes
+  EXPECT_THROW(la::CsrMatrix(2, 2, {0, 1, 2}, {0, 5}, {1.0, 1.0}),
+               rcs::Error);  // column range
+  EXPECT_NO_THROW(la::CsrMatrix(2, 2, {0, 1, 2}, {0, 1}, {1.0, 1.0}));
+}
+
+TEST(Csr, StreamBytesCountsIndicesAndValues) {
+  const auto lap = la::CsrMatrix::laplacian_2d(4, 4);
+  EXPECT_EQ(lap.stream_bytes(),
+            lap.nnz() * 12u + (lap.rows() + 1) * 4u);
+}
+
+TEST(Laplacian, StructureAndSymmetry) {
+  const auto lap = la::CsrMatrix::laplacian_2d(5, 7, 0.5);
+  EXPECT_EQ(lap.rows(), 35u);
+  const la::Matrix dense = lap.to_dense();
+  for (std::size_t i = 0; i < 35; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 35; ++j) {
+      EXPECT_EQ(dense(i, j), dense(j, i));
+      row_sum += dense(i, j);
+    }
+    EXPECT_NEAR(row_sum, 0.5, 1e-12);  // degree cancels; the shift remains
+  }
+  // Interior vertex: 4 neighbours + diagonal.
+  const std::size_t interior = 2 * 7 + 3;
+  EXPECT_EQ(dense(interior, interior), 4.0 + 0.5);
+}
+
+TEST(Laplacian, IsPositiveDefinite) {
+  // x^T L x > 0 for random nonzero x (shift > 0 makes it strictly PD).
+  const auto lap = la::CsrMatrix::laplacian_2d(6, 6, 1e-3);
+  const la::Matrix x = la::random_matrix(36, 1, 11);
+  std::vector<double> y(36);
+  lap.spmv(x.data(), y.data());
+  double quad = 0.0;
+  for (std::size_t i = 0; i < 36; ++i) quad += x(i, 0) * y[i];
+  EXPECT_GT(quad, 0.0);
+}
+
+TEST(Laplacian, NnzMatchesStencil) {
+  // r*c diagonal entries + 2 per interior edge: edges = r*(c-1) + (r-1)*c.
+  const std::size_t r = 5, c = 4;
+  const auto lap = la::CsrMatrix::laplacian_2d(r, c);
+  const std::size_t edges = r * (c - 1) + (r - 1) * c;
+  EXPECT_EQ(lap.nnz(), r * c + 2 * edges);
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cholesky.dir/ext_cholesky.cpp.o"
+  "CMakeFiles/ext_cholesky.dir/ext_cholesky.cpp.o.d"
+  "ext_cholesky"
+  "ext_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_contention.dir/ext_contention.cpp.o"
+  "CMakeFiles/ext_contention.dir/ext_contention.cpp.o.d"
+  "ext_contention"
+  "ext_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mm_hybrid.dir/ext_mm_hybrid.cpp.o"
+  "CMakeFiles/ext_mm_hybrid.dir/ext_mm_hybrid.cpp.o.d"
+  "ext_mm_hybrid"
+  "ext_mm_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mm_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qr.dir/ext_qr.cpp.o"
+  "CMakeFiles/ext_qr.dir/ext_qr.cpp.o.d"
+  "ext_qr"
+  "ext_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

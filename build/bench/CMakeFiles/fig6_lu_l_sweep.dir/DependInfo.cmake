@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_lu_l_sweep.cpp" "bench/CMakeFiles/fig6_lu_l_sweep.dir/fig6_lu_l_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig6_lu_l_sweep.dir/fig6_lu_l_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rcs_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rcs_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fparith/CMakeFiles/rcs_fparith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

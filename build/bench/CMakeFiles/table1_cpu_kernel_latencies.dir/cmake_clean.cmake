@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cpu_kernel_latencies.dir/table1_cpu_kernel_latencies.cpp.o"
+  "CMakeFiles/table1_cpu_kernel_latencies.dir/table1_cpu_kernel_latencies.cpp.o.d"
+  "table1_cpu_kernel_latencies"
+  "table1_cpu_kernel_latencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cpu_kernel_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

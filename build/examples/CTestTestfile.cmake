@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--n" "64" "--b" "16" "--p" "2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_linear_solver "/root/repo/build/examples/linear_solver" "--n" "64" "--b" "16" "--p" "2" "--rhs" "2")
+set_tests_properties(example_linear_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shortest_paths "/root/repo/build/examples/shortest_paths" "--rows" "4" "--cols" "8" "--b" "8" "--p" "2")
+set_tests_properties(example_shortest_paths PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capacity_planning "/root/repo/build/examples/capacity_planning" "--lu_n" "12000" "--lu_b" "3000")
+set_tests_properties(example_capacity_planning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_gantt "/root/repo/build/examples/trace_gantt" "--n" "32" "--b" "8" "--p" "2")
+set_tests_properties(example_trace_gantt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conjugate_gradient "/root/repo/build/examples/conjugate_gradient" "--n" "64")
+set_tests_properties(example_conjugate_gradient PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_lu_functional "/root/repo/build/examples/experiment_runner" "--app" "lu" "--plane" "functional" "--p" "2")
+set_tests_properties(example_runner_lu_functional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_fw_functional "/root/repo/build/examples/experiment_runner" "--app" "fw" "--plane" "functional" "--p" "2")
+set_tests_properties(example_runner_fw_functional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_chol_functional "/root/repo/build/examples/experiment_runner" "--app" "chol" "--plane" "functional" "--p" "3")
+set_tests_properties(example_runner_chol_functional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_mm_functional "/root/repo/build/examples/experiment_runner" "--app" "mm" "--plane" "functional" "--p" "3")
+set_tests_properties(example_runner_mm_functional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_runner_analytic_sweep "/root/repo/build/examples/experiment_runner" "--app" "fw" "--mode" "fpga" "--plane" "analytic" "--csv")
+set_tests_properties(example_runner_analytic_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

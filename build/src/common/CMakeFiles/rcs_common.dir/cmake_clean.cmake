@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_common.dir/cli.cpp.o"
+  "CMakeFiles/rcs_common.dir/cli.cpp.o.d"
+  "CMakeFiles/rcs_common.dir/log.cpp.o"
+  "CMakeFiles/rcs_common.dir/log.cpp.o.d"
+  "CMakeFiles/rcs_common.dir/stats.cpp.o"
+  "CMakeFiles/rcs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rcs_common.dir/table.cpp.o"
+  "CMakeFiles/rcs_common.dir/table.cpp.o.d"
+  "librcs_common.a"
+  "librcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

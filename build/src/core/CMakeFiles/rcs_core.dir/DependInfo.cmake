@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cholesky.cpp" "src/core/CMakeFiles/rcs_core.dir/cholesky.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/cholesky.cpp.o.d"
+  "/root/repo/src/core/fw_analytic.cpp" "src/core/CMakeFiles/rcs_core.dir/fw_analytic.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/fw_analytic.cpp.o.d"
+  "/root/repo/src/core/fw_functional.cpp" "src/core/CMakeFiles/rcs_core.dir/fw_functional.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/fw_functional.cpp.o.d"
+  "/root/repo/src/core/lu_analytic.cpp" "src/core/CMakeFiles/rcs_core.dir/lu_analytic.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/lu_analytic.cpp.o.d"
+  "/root/repo/src/core/lu_functional.cpp" "src/core/CMakeFiles/rcs_core.dir/lu_functional.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/lu_functional.cpp.o.d"
+  "/root/repo/src/core/mm.cpp" "src/core/CMakeFiles/rcs_core.dir/mm.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/mm.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/rcs_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/core/CMakeFiles/rcs_core.dir/predict.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/predict.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/rcs_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/rcs_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/rcs_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/rcs_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fparith/CMakeFiles/rcs_fparith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

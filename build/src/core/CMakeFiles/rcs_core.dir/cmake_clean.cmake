@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_core.dir/cholesky.cpp.o"
+  "CMakeFiles/rcs_core.dir/cholesky.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/fw_analytic.cpp.o"
+  "CMakeFiles/rcs_core.dir/fw_analytic.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/fw_functional.cpp.o"
+  "CMakeFiles/rcs_core.dir/fw_functional.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/lu_analytic.cpp.o"
+  "CMakeFiles/rcs_core.dir/lu_analytic.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/lu_functional.cpp.o"
+  "CMakeFiles/rcs_core.dir/lu_functional.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/mm.cpp.o"
+  "CMakeFiles/rcs_core.dir/mm.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/partition.cpp.o"
+  "CMakeFiles/rcs_core.dir/partition.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/predict.cpp.o"
+  "CMakeFiles/rcs_core.dir/predict.cpp.o.d"
+  "CMakeFiles/rcs_core.dir/system.cpp.o"
+  "CMakeFiles/rcs_core.dir/system.cpp.o.d"
+  "librcs_core.a"
+  "librcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_fparith.dir/ieee754.cpp.o"
+  "CMakeFiles/rcs_fparith.dir/ieee754.cpp.o.d"
+  "librcs_fparith.a"
+  "librcs_fparith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_fparith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

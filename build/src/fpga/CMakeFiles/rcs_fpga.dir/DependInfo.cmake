@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/rcs_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/rcs_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/fw_kernel.cpp" "src/fpga/CMakeFiles/rcs_fpga.dir/fw_kernel.cpp.o" "gcc" "src/fpga/CMakeFiles/rcs_fpga.dir/fw_kernel.cpp.o.d"
+  "/root/repo/src/fpga/matmul_array.cpp" "src/fpga/CMakeFiles/rcs_fpga.dir/matmul_array.cpp.o" "gcc" "src/fpga/CMakeFiles/rcs_fpga.dir/matmul_array.cpp.o.d"
+  "/root/repo/src/fpga/pe_cycle_sim.cpp" "src/fpga/CMakeFiles/rcs_fpga.dir/pe_cycle_sim.cpp.o" "gcc" "src/fpga/CMakeFiles/rcs_fpga.dir/pe_cycle_sim.cpp.o.d"
+  "/root/repo/src/fpga/resources.cpp" "src/fpga/CMakeFiles/rcs_fpga.dir/resources.cpp.o" "gcc" "src/fpga/CMakeFiles/rcs_fpga.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fparith/CMakeFiles/rcs_fparith.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rcs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_fpga.dir/device.cpp.o"
+  "CMakeFiles/rcs_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/rcs_fpga.dir/fw_kernel.cpp.o"
+  "CMakeFiles/rcs_fpga.dir/fw_kernel.cpp.o.d"
+  "CMakeFiles/rcs_fpga.dir/matmul_array.cpp.o"
+  "CMakeFiles/rcs_fpga.dir/matmul_array.cpp.o.d"
+  "CMakeFiles/rcs_fpga.dir/pe_cycle_sim.cpp.o"
+  "CMakeFiles/rcs_fpga.dir/pe_cycle_sim.cpp.o.d"
+  "CMakeFiles/rcs_fpga.dir/resources.cpp.o"
+  "CMakeFiles/rcs_fpga.dir/resources.cpp.o.d"
+  "librcs_fpga.a"
+  "librcs_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/floyd_warshall.cpp" "src/graph/CMakeFiles/rcs_graph.dir/floyd_warshall.cpp.o" "gcc" "src/graph/CMakeFiles/rcs_graph.dir/floyd_warshall.cpp.o.d"
+  "/root/repo/src/graph/generate.cpp" "src/graph/CMakeFiles/rcs_graph.dir/generate.cpp.o" "gcc" "src/graph/CMakeFiles/rcs_graph.dir/generate.cpp.o.d"
+  "/root/repo/src/graph/transitive_closure.cpp" "src/graph/CMakeFiles/rcs_graph.dir/transitive_closure.cpp.o" "gcc" "src/graph/CMakeFiles/rcs_graph.dir/transitive_closure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rcs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

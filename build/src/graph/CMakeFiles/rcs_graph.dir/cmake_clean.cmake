@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_graph.dir/floyd_warshall.cpp.o"
+  "CMakeFiles/rcs_graph.dir/floyd_warshall.cpp.o.d"
+  "CMakeFiles/rcs_graph.dir/generate.cpp.o"
+  "CMakeFiles/rcs_graph.dir/generate.cpp.o.d"
+  "CMakeFiles/rcs_graph.dir/transitive_closure.cpp.o"
+  "CMakeFiles/rcs_graph.dir/transitive_closure.cpp.o.d"
+  "librcs_graph.a"
+  "librcs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

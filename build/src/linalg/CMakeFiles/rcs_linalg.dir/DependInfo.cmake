@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/generate.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/generate.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/generate.cpp.o.d"
+  "/root/repo/src/linalg/getrf.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/getrf.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/getrf.cpp.o.d"
+  "/root/repo/src/linalg/io.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/io.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/io.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/linalg/CMakeFiles/rcs_linalg.dir/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/rcs_linalg.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

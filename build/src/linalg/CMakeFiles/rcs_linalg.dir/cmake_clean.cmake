@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_linalg.dir/blas.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/generate.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/generate.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/getrf.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/getrf.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/io.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/io.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/qr.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/rcs_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/rcs_linalg.dir/sparse.cpp.o.d"
+  "librcs_linalg.a"
+  "librcs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/contention.cpp" "src/net/CMakeFiles/rcs_net.dir/contention.cpp.o" "gcc" "src/net/CMakeFiles/rcs_net.dir/contention.cpp.o.d"
+  "/root/repo/src/net/minimpi.cpp" "src/net/CMakeFiles/rcs_net.dir/minimpi.cpp.o" "gcc" "src/net/CMakeFiles/rcs_net.dir/minimpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rcs_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_net.dir/contention.cpp.o"
+  "CMakeFiles/rcs_net.dir/contention.cpp.o.d"
+  "CMakeFiles/rcs_net.dir/minimpi.cpp.o"
+  "CMakeFiles/rcs_net.dir/minimpi.cpp.o.d"
+  "librcs_net.a"
+  "librcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

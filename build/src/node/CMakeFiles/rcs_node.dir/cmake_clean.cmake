@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_node.dir/compute_node.cpp.o"
+  "CMakeFiles/rcs_node.dir/compute_node.cpp.o.d"
+  "CMakeFiles/rcs_node.dir/gpp.cpp.o"
+  "CMakeFiles/rcs_node.dir/gpp.cpp.o.d"
+  "librcs_node.a"
+  "librcs_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcs_node.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/rcs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rcs_sim.dir/trace.cpp.o"
+  "CMakeFiles/rcs_sim.dir/trace.cpp.o.d"
+  "librcs_sim.a"
+  "librcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_test.dir/functional_test.cpp.o"
+  "CMakeFiles/functional_test.dir/functional_test.cpp.o.d"
+  "functional_test"
+  "functional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -31,9 +31,27 @@ void BM_GemmNaive(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 
-void BM_GemmBlocked(benchmark::State& state) {
+// The legacy cache-tiled i-k-j loop (pre-parallel-runtime production gemm),
+// kept as the baseline the packed microkernel is measured against.
+void BM_GemmTiled(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  linalg::Matrix a = linalg::random_matrix(n, n, 1);
+  linalg::Matrix b = linalg::random_matrix(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm_tiled(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTiled)->Arg(64)->Arg(256)->Arg(1024);
+
+// The packed register-blocked microkernel (current production gemm),
+// parallelized over row tiles on the shared pool. Threads follow
+// RCS_THREADS / hardware concurrency.
+void BM_GemmPacked(benchmark::State& state) {
   const std::size_t n = state.range(0);
   linalg::Matrix a = linalg::random_matrix(n, n, 1);
   linalg::Matrix b = linalg::random_matrix(n, n, 2);
@@ -44,7 +62,7 @@ void BM_GemmBlocked(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmPacked)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
 
 void BM_GetrfBlocked(benchmark::State& state) {
   const std::size_t n = state.range(0);

@@ -1,0 +1,195 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rcs::common {
+
+namespace {
+
+/// True while this thread is executing a parallel_for body — nested calls
+/// detect it and run serially instead of re-entering the pool.
+thread_local bool tls_in_parallel_body = false;
+
+/// One parallel_for invocation: a statically chunked range plus completion
+/// bookkeeping. Shared between the submitting thread and the workers.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t begin = 0;
+  std::size_t count = 0;    // end - begin
+  std::size_t nchunks = 0;  // static partition size
+  std::atomic<std::size_t> next{0};  // next unclaimed chunk index
+  std::atomic<std::size_t> done{0};  // chunks finished
+  std::mutex mu;
+  std::condition_variable cv;  // signalled when done == nchunks
+  std::exception_ptr error;    // first exception from any chunk
+
+  /// Chunk c covers [chunk_begin(c), chunk_begin(c+1)): sizes differ by at
+  /// most one item (same even split worker_columns uses for column shares).
+  std::size_t chunk_begin(std::size_t c) const {
+    const std::size_t base = count / nchunks;
+    const std::size_t rem = count % nchunks;
+    return begin + c * base + std::min(c, rem);
+  }
+
+  /// Claim and run one chunk; returns false when the job has no chunks left.
+  bool run_one() {
+    const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= nchunks) return false;
+    const bool saved = tls_in_parallel_body;
+    tls_in_parallel_body = true;
+    try {
+      (*body)(chunk_begin(c), chunk_begin(c + 1));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+    }
+    tls_in_parallel_body = saved;
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nchunks) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+    return true;
+  }
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= nchunks;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  int threads = 1;
+  std::mutex mu;
+  std::condition_variable cv;  // wakes workers when jobs arrive / on stop
+  std::deque<std::shared_ptr<Job>> jobs;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void worker_main() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stopping || !jobs.empty(); });
+      if (stopping) return;
+      std::shared_ptr<Job> job = jobs.front();
+      if (job->exhausted()) {
+        jobs.pop_front();
+        continue;
+      }
+      lock.unlock();
+      job->run_one();
+      lock.lock();
+    }
+  }
+
+  void start(int n) {
+    threads = std::max(1, n);
+    workers.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 0; i < threads - 1; ++i) {
+      workers.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      RCS_CHECK_MSG(jobs.empty(),
+                    "ThreadPool stopped/resized with work in flight");
+      stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread& w : workers) w.join();
+    workers.clear();
+    stopping = false;
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  impl_->start(threads);
+}
+
+ThreadPool::~ThreadPool() { impl_->stop(); }
+
+int ThreadPool::threads() const { return impl_->threads; }
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t max_chunks = std::min<std::size_t>(
+      static_cast<std::size_t>(impl_->threads), std::max<std::size_t>(1, count / g));
+  if (max_chunks <= 1 || tls_in_parallel_body) {
+    body(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->begin = begin;
+  job->count = count;
+  job->nchunks = max_chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->jobs.push_back(job);
+  }
+  impl_->cv.notify_all();
+
+  // The caller works too: claim chunks until the job is exhausted, then wait
+  // for the chunks other threads claimed.
+  while (job->run_one()) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->nchunks;
+    });
+  }
+  // Retire the (exhausted) job from the queue ourselves: workers only pop
+  // lazily on their next wake-up, and the pool may be destroyed before then.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto& q = impl_->jobs;
+    q.erase(std::remove(q.begin(), q.end(), job), q.end());
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("RCS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return std::min(n, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(default_thread_count());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() { return *global_slot(); }
+
+void ThreadPool::set_global_threads(int threads) {
+  RCS_CHECK_MSG(threads >= 1, "thread count must be >= 1, got " << threads);
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace rcs::common

@@ -1,0 +1,72 @@
+#pragma once
+// Intra-node parallel compute runtime: a persistent worker pool with a
+// static-chunked `parallel_for` primitive.
+//
+// The functional plane runs one std::thread per MiniMPI rank, and several
+// ranks can reach a compute kernel at the same simulated instant. To keep
+// the machine from oversubscribing (p ranks x t threads each), all kernels
+// share ONE process-global pool: concurrent `parallel_for` calls from
+// different rank threads enqueue into the same worker set, and a call made
+// from inside a pool worker (nested parallelism) degrades to serial
+// execution instead of deadlocking or spawning more threads.
+//
+// Determinism contract: `parallel_for` splits [begin, end) into contiguous
+// chunks that partition the range, so a body that writes only its own chunk
+// produces output independent of the thread count and of chunk-to-thread
+// assignment. All parallel kernels in this repo preserve their documented
+// per-entry accumulation order inside a chunk, so results are bit-identical
+// at any `RCS_THREADS`. Simulated timings never flow through the pool.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace rcs::common {
+
+class ThreadPool {
+ public:
+  /// A pool that runs bodies on `threads` threads total: `threads - 1`
+  /// persistent workers plus the calling thread (which always participates).
+  /// `threads <= 1` means fully serial (no workers spawned).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads this pool applies to one parallel_for (workers + caller).
+  int threads() const;
+
+  /// Run `body(chunk_begin, chunk_end)` over a static partition of
+  /// [begin, end) into at most `threads()` contiguous chunks of at least
+  /// `grain` items (sizes as equal as possible). The calling thread executes
+  /// chunks alongside the workers and returns only when every chunk is done.
+  /// The first exception thrown by any chunk is rethrown to the caller after
+  /// completion. Safe to call concurrently from multiple threads; calls made
+  /// from inside a running body execute serially (nested-parallelism cap).
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The shared process-global pool used by all parallel kernels. Sized on
+  /// first use from the `RCS_THREADS` environment variable, defaulting to
+  /// std::thread::hardware_concurrency().
+  static ThreadPool& global();
+
+  /// Resize the global pool (joins the old workers, spawns new ones). Must
+  /// not be called while any parallel_for is in flight; intended for tests
+  /// and benchmark harnesses that sweep thread counts.
+  static void set_global_threads(int threads);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: parallel_for on the shared global pool.
+inline void parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, grain, body);
+}
+
+}  // namespace rcs::common

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "fpga/fw_kernel.hpp"
 #include "graph/floyd_warshall.hpp"
 #include "net/matrix_channel.hpp"
@@ -80,6 +81,11 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
   const double task_cycles = static_cast<double>(kernel.cycles(b));
   const std::uint64_t task_bytes = kernel.input_bytes(b);
 
+  // Spawn the shared compute pool before the rank threads exist, so every
+  // rank's kernels land on one process-wide worker set (no p-fold thread
+  // oversubscription) and never race the pool's lazy construction.
+  common::ThreadPool::global();
+
   net::World world(p, sys.network);
   world.set_message_logging(message_log != nullptr);
   std::vector<RankStats> stats(static_cast<std::size_t>(p));
@@ -106,6 +112,12 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     // Run a wave of block tasks with the l1 : l2 split. FPGA-assigned tasks
     // stream first (the FPGA pipelines behind the DRAM stream), then the
     // CPU-assigned tasks run; fpga_wait() closes the §4.4 handshake.
+    //
+    // Wall-clock: the virtual-clock charges are applied serially in exactly
+    // the schedule order above (so simulated seconds are byte-identical to
+    // the single-threaded runtime), and then the functional block updates —
+    // which touch pairwise-disjoint blocks within one wave — fan out on the
+    // shared common::ThreadPool.
     auto run_wave = [&](std::vector<BlockTask>& tasks) {
       const long long total = static_cast<long long>(tasks.size());
       const long long on_fpga = std::min<long long>(part.l2, total);
@@ -118,21 +130,28 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
         node.dram_to_fpga(task_bytes);
         node.fpga_submit(task_cycles, task.label);
         node.note_fpga_flops(task_flops);
-        if (use_soft_fp) {
-          task.compute_soft();
-        } else {
-          task.compute_native();
-        }
       }
       for (long long i = 0; i < total - on_fpga; ++i) {
         auto& task = tasks[static_cast<std::size_t>(i)];
         node.cpu_compute(node::CpuKernel::FwBlock, task_flops, task.label);
-        task.compute_native();
       }
       if (on_fpga > 0) {
         node.fpga_wait();
         node.read_fpga_results("fw wave results");
       }
+      common::parallel_for(
+          0, static_cast<std::size_t>(total), 1,
+          [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+              const bool fpga_task =
+                  static_cast<long long>(i) >= total - on_fpga;
+              if (fpga_task && use_soft_fp) {
+                tasks[i].compute_soft();
+              } else {
+                tasks[i].compute_native();
+              }
+            }
+          });
       tasks.clear();
     };
 

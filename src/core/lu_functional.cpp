@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "fpga/matmul_array.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/getrf.hpp"
@@ -103,6 +104,14 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
 
   const fpga::MatMulArray array(sys.mm_fpga);
   const long long k = sys.mm_fpga.pe_count;
+
+  // Spawn the shared compute pool before the rank threads exist: each
+  // worker's opMM share — the FPGA-emulation rows (MatMulArray) and the
+  // CPU rows (linalg::gemm) — runs through this one pool, so p concurrent
+  // ranks never oversubscribe the machine and never race the pool's lazy
+  // construction. Virtual-clock charges stay serial per rank, so simulated
+  // timings are independent of RCS_THREADS.
+  common::ThreadPool::global();
 
   net::World world(p, sys.network);
   world.set_message_logging(message_log != nullptr);

@@ -1,6 +1,7 @@
 #include "fpga/matmul_array.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rcs::fpga {
 
@@ -34,16 +35,20 @@ void MatMulArray::mac_impl(Span2D<const double> c, Span2D<const double> d,
                                 static_cast<long long>(e.cols())),
                "matmul result tile");
   // Dot products accumulate in ascending inner-index order, exactly like the
-  // streaming PEs (and the host gemm).
-  for (std::size_t i = 0; i < e.rows(); ++i) {
-    for (std::size_t j = 0; j < e.cols(); ++j) {
-      double acc = e(i, j);
-      for (std::size_t l = 0; l < c.cols(); ++l) {
-        acc = Backend::mac(acc, c(i, l), d(l, j));
+  // streaming PEs (and the host gemm). Result rows are independent, so the
+  // emulation parallelizes over them on the shared pool without changing any
+  // entry's accumulation order (bit-identical at every thread count).
+  common::parallel_for(0, e.rows(), 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = 0; j < e.cols(); ++j) {
+        double acc = e(i, j);
+        for (std::size_t l = 0; l < c.cols(); ++l) {
+          acc = Backend::mac(acc, c(i, l), d(l, j));
+        }
+        e(i, j) = acc;
       }
-      e(i, j) = acc;
     }
-  }
+  });
 }
 
 void MatMulArray::multiply_accumulate(Span2D<const double> c,
@@ -67,15 +72,17 @@ void MatMulArray::mac_nt_impl(Span2D<const double> c, Span2D<const double> d,
   require_sram(dev_, sram_words(static_cast<long long>(e.rows()),
                                 static_cast<long long>(e.cols())),
                "matmul-nt result tile");
-  for (std::size_t i = 0; i < e.rows(); ++i) {
-    for (std::size_t j = 0; j < e.cols(); ++j) {
-      double acc = e(i, j);
-      for (std::size_t l = 0; l < c.cols(); ++l) {
-        acc = Backend::mac(acc, c(i, l), d(j, l));
+  common::parallel_for(0, e.rows(), 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = 0; j < e.cols(); ++j) {
+        double acc = e(i, j);
+        for (std::size_t l = 0; l < c.cols(); ++l) {
+          acc = Backend::mac(acc, c(i, l), d(j, l));
+        }
+        e(i, j) = acc;
       }
-      e(i, j) = acc;
     }
-  }
+  });
 }
 
 void MatMulArray::multiply_accumulate_nt(Span2D<const double> c,

@@ -13,7 +13,9 @@
 //
 // Functionally, each output element accumulates its dot product in ascending
 // inner-index order — the same order as the host gemm — so CPU-computed and
-// FPGA-computed partitions of a hybrid product are bit-consistent.
+// FPGA-computed partitions of a hybrid product are bit-consistent. The
+// emulation runs result rows in parallel on the shared common::ThreadPool;
+// per-entry order is untouched, so outputs are identical at any RCS_THREADS.
 
 #include <cstdint>
 

@@ -1,6 +1,7 @@
 #include "graph/floyd_warshall.hpp"
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rcs::graph {
 
@@ -137,21 +138,28 @@ void blocked_floyd_warshall_with_paths(Matrix& d, std::size_t b,
   for (std::size_t t = 0; t < nb; ++t) {
     fw_block_with_next(blk(t, t), blk(t, t), blk(t, t), nblk(t, t),
                        nblk(t, t));
-    for (std::size_t q = 0; q < nb; ++q) {
-      if (q == t) continue;
-      fw_block_with_next(blk(t, q), blk(t, t), blk(t, q), nblk(t, q),
-                         nblk(t, t));
-      fw_block_with_next(blk(q, t), blk(q, t), blk(t, t), nblk(q, t),
-                         nblk(q, t));
-    }
-    for (std::size_t u = 0; u < nb; ++u) {
-      if (u == t) continue;
-      for (std::size_t v = 0; v < nb; ++v) {
-        if (v == t) continue;
-        fw_block_with_next(blk(u, v), blk(u, t), blk(t, v), nblk(u, v),
-                           nblk(u, t));
+    // Step-2 blocks touch disjoint (t,q) / (q,t) blocks and only read the
+    // diagonal, so the q wave parallelizes block-for-block.
+    common::parallel_for(0, nb, 1, [&](std::size_t q0, std::size_t q1) {
+      for (std::size_t q = q0; q < q1; ++q) {
+        if (q == t) continue;
+        fw_block_with_next(blk(t, q), blk(t, t), blk(t, q), nblk(t, q),
+                           nblk(t, t));
+        fw_block_with_next(blk(q, t), blk(q, t), blk(t, t), nblk(q, t),
+                           nblk(q, t));
       }
-    }
+    });
+    // Step-3 blocks (u,v) only read row t and column t: independent.
+    common::parallel_for(0, nb, 1, [&](std::size_t u0, std::size_t u1) {
+      for (std::size_t u = u0; u < u1; ++u) {
+        if (u == t) continue;
+        for (std::size_t v = 0; v < nb; ++v) {
+          if (v == t) continue;
+          fw_block_with_next(blk(u, v), blk(u, t), blk(t, v), nblk(u, v),
+                             nblk(u, t));
+        }
+      }
+    });
   }
 }
 
@@ -167,20 +175,27 @@ void blocked_floyd_warshall(Matrix& d, std::size_t b) {
   for (std::size_t t = 0; t < nb; ++t) {
     // Step 1 (op1): diagonal block.
     fw_block(blk(t, t), blk(t, t), blk(t, t));
-    // Step 2 (op21 row blocks, op22 column blocks).
-    for (std::size_t q = 0; q < nb; ++q) {
-      if (q == t) continue;
-      fw_block(blk(t, q), blk(t, t), blk(t, q));  // op21
-      fw_block(blk(q, t), blk(q, t), blk(t, t));  // op22
-    }
-    // Step 3 (op3): remaining blocks.
-    for (std::size_t u = 0; u < nb; ++u) {
-      if (u == t) continue;
-      for (std::size_t v = 0; v < nb; ++v) {
-        if (v == t) continue;
-        fw_block(blk(u, v), blk(u, t), blk(t, v));
+    // Step 2 (op21 row blocks, op22 column blocks): each q writes only its
+    // own (t,q)/(q,t) pair and reads the diagonal — parallel over q.
+    common::parallel_for(0, nb, 1, [&](std::size_t q0, std::size_t q1) {
+      for (std::size_t q = q0; q < q1; ++q) {
+        if (q == t) continue;
+        fw_block(blk(t, q), blk(t, t), blk(t, q));  // op21
+        fw_block(blk(q, t), blk(q, t), blk(t, t));  // op22
       }
-    }
+    });
+    // Step 3 (op3): remaining blocks, independent given row/column t —
+    // parallel over block rows. Relaxation order within a block is
+    // unchanged, so distances match the serial schedule bit-for-bit.
+    common::parallel_for(0, nb, 1, [&](std::size_t u0, std::size_t u1) {
+      for (std::size_t u = u0; u < u1; ++u) {
+        if (u == t) continue;
+        for (std::size_t v = 0; v < nb; ++v) {
+          if (v == t) continue;
+          fw_block(blk(u, v), blk(u, t), blk(t, v));
+        }
+      }
+    });
   }
 }
 

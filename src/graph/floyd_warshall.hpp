@@ -49,9 +49,11 @@ std::vector<std::size_t> reconstruct_path(
 void fw_block(Span2D<double> c, Span2D<const double> a,
               Span2D<const double> b);
 
-/// In-place sequential blocked Floyd–Warshall with block size `b`
-/// (reference [7]); produces exactly the same result as floyd_warshall.
-/// Requires b to divide n.
+/// In-place blocked Floyd–Warshall with block size `b` (reference [7]);
+/// produces exactly the same result as floyd_warshall. The independent
+/// blocks of each wave (step 2 and step 3) run in parallel on the shared
+/// common::ThreadPool; per-block relaxation order is unchanged, so the
+/// output is bit-identical at any thread count. Requires b to divide n.
 void blocked_floyd_warshall(Matrix& d, std::size_t b);
 
 /// The blocked relaxation kernel carrying next-hop bookkeeping: whenever

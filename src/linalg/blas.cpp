@@ -1,9 +1,11 @@
 #include "linalg/blas.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace rcs::linalg {
 
@@ -31,7 +33,8 @@ void gemm_naive(Span2D<const double> a, Span2D<const double> b,
   }
 }
 
-void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
+void gemm_tiled(Span2D<const double> a, Span2D<const double> b,
+                Span2D<double> c) {
   check_gemm_shapes(a, b, c);
   // i-k-j loop order with small tiles: streams B rows and C rows, which is
   // far friendlier to the cache than the naive i-j-k order. Accumulation
@@ -55,6 +58,179 @@ void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
           }
         }
       }
+    }
+  }
+}
+
+namespace {
+
+// Packed register-blocked gemm in the BLIS mold: B is packed once per
+// (column panel, k panel) into NR-wide micropanels, each row tile packs its
+// A strip into MR-tall micropanels, and an MR x NR block of C accumulates in
+// registers while one column of A and one row of B stream past per inner
+// step.
+//
+// Bit-exactness: every C entry is updated as acc += a * b with the inner
+// index l strictly ascending — within a microkernel call because the l loop
+// is the outer loop, and across k panels because panels are visited in
+// ascending order and C is reloaded/stored per panel. No reassociation, no
+// FMA (-ffp-contract=off), so the result equals gemm_naive bit-for-bit at
+// any thread count.
+constexpr std::size_t MR = 8;    // rows of C per microkernel call
+constexpr std::size_t NR = 8;    // cols of C per microkernel call
+constexpr std::size_t KC = 256;  // k extent of a packed panel
+constexpr std::size_t NC = 512;  // column extent of a packed B panel
+constexpr std::size_t MC = 64;   // rows per parallel i-tile
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RCS_GEMM_VECTOR_EXT 1
+/// One full C-microtile row: NR = 8 doubles. On AVX-512 this is one zmm; on
+/// narrower ISAs the compiler synthesizes it from smaller registers, and on
+/// compilers without the extension we fall back to the scalar loop below.
+typedef double v8df __attribute__((vector_size(8 * sizeof(double))));
+#endif
+
+/// acc[ir][jr] += sum over l of ap[l, ir] * bp[l, jr], l ascending.
+/// Vector lanes are per-entry IEEE mul/add (no FMA: -ffp-contract=off), so
+/// the vector and scalar paths — and gemm_naive — agree bit-for-bit.
+inline void micro_kernel(std::size_t kc, const double* ap, const double* bp,
+                         double* acc) {
+#ifdef RCS_GEMM_VECTOR_EXT
+  v8df r[MR];
+  for (std::size_t ir = 0; ir < MR; ++ir) {
+    std::memcpy(&r[ir], acc + ir * NR, sizeof(v8df));
+  }
+  for (std::size_t l = 0; l < kc; ++l) {
+    v8df bv;
+    std::memcpy(&bv, bp + l * NR, sizeof(v8df));
+    const double* arow = ap + l * MR;
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      const double a = arow[ir];
+      const v8df av = {a, a, a, a, a, a, a, a};
+      r[ir] += av * bv;
+    }
+  }
+  for (std::size_t ir = 0; ir < MR; ++ir) {
+    std::memcpy(acc + ir * NR, &r[ir], sizeof(v8df));
+  }
+#else
+  for (std::size_t l = 0; l < kc; ++l) {
+    const double* arow = ap + l * MR;
+    const double* brow = bp + l * NR;
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      const double av = arow[ir];
+      double* row = acc + ir * NR;
+      for (std::size_t jr = 0; jr < NR; ++jr) row[jr] += av * brow[jr];
+    }
+  }
+#endif
+}
+
+/// Run the microkernel against the (possibly ragged) mr x nr corner of C at
+/// (i0, j0): load the live entries, accumulate, store them back.
+void micro_tile(std::size_t kc, const double* ap, const double* bp,
+                Span2D<double> c, std::size_t i0, std::size_t j0,
+                std::size_t mr, std::size_t nr) {
+  double acc[MR * NR];
+  if (mr == MR && nr == NR) {
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      std::memcpy(acc + ir * NR, c.row(i0 + ir) + j0, NR * sizeof(double));
+    }
+    micro_kernel(kc, ap, bp, acc);
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      std::memcpy(c.row(i0 + ir) + j0, acc + ir * NR, NR * sizeof(double));
+    }
+    return;
+  }
+  std::fill(acc, acc + MR * NR, 0.0);
+  for (std::size_t ir = 0; ir < mr; ++ir) {
+    for (std::size_t jr = 0; jr < nr; ++jr) acc[ir * NR + jr] = c(i0 + ir, j0 + jr);
+  }
+  micro_kernel(kc, ap, bp, acc);
+  for (std::size_t ir = 0; ir < mr; ++ir) {
+    for (std::size_t jr = 0; jr < nr; ++jr) c(i0 + ir, j0 + jr) = acc[ir * NR + jr];
+  }
+}
+
+/// Pack b.block(k0.., j0..) into NR-wide micropanels, zero-padding the
+/// ragged last panel so the microkernel always reads NR values per step.
+void pack_b_panel(Span2D<const double> b, std::size_t k0, std::size_t kc,
+                  std::size_t j0, std::size_t nc, std::vector<double>& bp) {
+  const std::size_t npanels = (nc + NR - 1) / NR;
+  bp.assign(npanels * kc * NR, 0.0);
+  for (std::size_t jp = 0; jp < npanels; ++jp) {
+    double* panel = bp.data() + jp * kc * NR;
+    const std::size_t j = j0 + jp * NR;
+    const std::size_t w = std::min(NR, j0 + nc - j);
+    for (std::size_t l = 0; l < kc; ++l) {
+      const double* brow = b.row(k0 + l) + j;
+      for (std::size_t jr = 0; jr < w; ++jr) panel[l * NR + jr] = brow[jr];
+    }
+  }
+}
+
+/// Pack a.block(i0.., k0..) into MR-tall micropanels (column-major inside a
+/// strip so the microkernel broadcasts MR contiguous values per step).
+void pack_a_tile(Span2D<const double> a, std::size_t i0, std::size_t mc,
+                 std::size_t k0, std::size_t kc, std::vector<double>& ap) {
+  const std::size_t nstrips = (mc + MR - 1) / MR;
+  ap.assign(nstrips * kc * MR, 0.0);
+  for (std::size_t ip = 0; ip < nstrips; ++ip) {
+    double* strip = ap.data() + ip * kc * MR;
+    const std::size_t i = i0 + ip * MR;
+    const std::size_t h = std::min(MR, i0 + mc - i);
+    for (std::size_t ir = 0; ir < h; ++ir) {
+      const double* arow = a.row(i + ir) + k0;
+      for (std::size_t l = 0; l < kc; ++l) strip[l * MR + ir] = arow[l];
+    }
+  }
+}
+
+/// Per-thread A-pack scratch: reused across calls to avoid allocator churn
+/// inside the parallel region.
+thread_local std::vector<double> tls_apack;
+
+}  // namespace
+
+void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
+  check_gemm_shapes(a, b, c);
+  const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
+  if (m == 0 || n == 0 || k == 0) return;
+  // Small products: packing overhead dominates; the tiled loop is equally
+  // bit-identical to gemm_naive, so falling back changes nothing but speed.
+  if (m * n * k <= 48 * 48 * 48) {
+    gemm_tiled(a, b, c);
+    return;
+  }
+  std::vector<double> bpack;
+  for (std::size_t j0 = 0; j0 < n; j0 += NC) {
+    const std::size_t nc = std::min(NC, n - j0);
+    const std::size_t npanels = (nc + NR - 1) / NR;
+    for (std::size_t k0 = 0; k0 < k; k0 += KC) {
+      const std::size_t kc = std::min(KC, k - k0);
+      pack_b_panel(b, k0, kc, j0, nc, bpack);
+      // Parallel over MC-row i-tiles: tiles write disjoint row ranges of C,
+      // so the shared global pool can split them freely.
+      const std::size_t ntiles = (m + MC - 1) / MC;
+      common::parallel_for(0, ntiles, 1, [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t i0 = t * MC;
+          const std::size_t mc = std::min(MC, m - i0);
+          std::vector<double>& apack = tls_apack;
+          pack_a_tile(a, i0, mc, k0, kc, apack);
+          for (std::size_t jp = 0; jp < npanels; ++jp) {
+            const double* bp = bpack.data() + jp * kc * NR;
+            const std::size_t j = j0 + jp * NR;
+            const std::size_t w = std::min(NR, j0 + nc - j);
+            for (std::size_t ip = 0; ip * MR < mc; ++ip) {
+              const double* ap = apack.data() + ip * kc * MR;
+              const std::size_t i = i0 + ip * MR;
+              const std::size_t h = std::min(MR, i0 + mc - i);
+              micro_tile(kc, ap, bp, c, i, j, h, w);
+            }
+          }
+        }
+      });
     }
   }
 }

@@ -14,7 +14,15 @@ namespace rcs::linalg {
 void gemm_naive(Span2D<const double> a, Span2D<const double> b,
                 Span2D<double> c);
 
-/// C += A * B, cache-blocked (the production host dgemm substitute).
+/// C += A * B, cache-blocked i-k-j loop (the previous production kernel,
+/// kept as the single-threaded baseline the perf harness regresses against).
+void gemm_tiled(Span2D<const double> a, Span2D<const double> b,
+                Span2D<double> c);
+
+/// C += A * B, packed register-blocked microkernel, parallelized over row
+/// tiles on the shared common::ThreadPool (the production host dgemm
+/// substitute). Per-entry accumulation order is ascending inner index, so
+/// the result is bit-identical to gemm_naive at any thread count.
 void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c);
 
 /// C = A * B (zeroes C first, then gemm).

@@ -1,0 +1,80 @@
+// Regression: the intra-node parallel runtime must not perturb the simulated
+// experiment. lu_functional and fw_functional are re-run at several
+// RCS_THREADS-equivalent pool sizes; simulated seconds, network bytes, and
+// the factored/closure outputs must be exactly equal — the pool accelerates
+// wall-clock only, never the virtual clocks.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "core/fw_functional.hpp"
+#include "core/lu_functional.hpp"
+#include "graph/generate.hpp"
+#include "linalg/generate.hpp"
+
+namespace core = rcs::core;
+namespace common = rcs::common;
+namespace la = rcs::linalg;
+namespace gr = rcs::graph;
+
+namespace {
+
+core::SystemParams xd1_p(int p) {
+  core::SystemParams sys = core::SystemParams::cray_xd1();
+  sys.p = p;
+  return sys;
+}
+
+TEST(Determinism, LuFunctionalInvariantAcrossThreadCounts) {
+  const la::Matrix a = la::diagonally_dominant(64, 1234);
+  core::LuConfig cfg;
+  cfg.n = 64;
+  cfg.b = 16;
+  cfg.mode = core::DesignMode::Hybrid;
+
+  common::ThreadPool::set_global_threads(1);
+  const auto ref = core::lu_functional(xd1_p(3), cfg, a);
+
+  for (int threads : {2, 7}) {
+    common::ThreadPool::set_global_threads(threads);
+    const auto res = core::lu_functional(xd1_p(3), cfg, a);
+    EXPECT_EQ(res.run.seconds, ref.run.seconds) << "threads=" << threads;
+    EXPECT_EQ(res.run.bytes_on_network, ref.run.bytes_on_network)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.cpu_busy_seconds, ref.run.cpu_busy_seconds)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.fpga_busy_seconds, ref.run.fpga_busy_seconds)
+        << "threads=" << threads;
+    EXPECT_TRUE(la::bit_equal(res.factored.view(), ref.factored.view()))
+        << "threads=" << threads;
+  }
+  common::ThreadPool::set_global_threads(1);
+}
+
+TEST(Determinism, FwFunctionalInvariantAcrossThreadCounts) {
+  const la::Matrix d0 = gr::random_digraph(64, 4321, 0.4);
+  core::FwConfig cfg;
+  cfg.n = 64;
+  cfg.b = 16;
+  cfg.mode = core::DesignMode::Hybrid;
+
+  common::ThreadPool::set_global_threads(1);
+  const auto ref = core::fw_functional(xd1_p(2), cfg, d0);
+
+  for (int threads : {2, 7}) {
+    common::ThreadPool::set_global_threads(threads);
+    const auto res = core::fw_functional(xd1_p(2), cfg, d0);
+    EXPECT_EQ(res.run.seconds, ref.run.seconds) << "threads=" << threads;
+    EXPECT_EQ(res.run.bytes_on_network, ref.run.bytes_on_network)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.cpu_busy_seconds, ref.run.cpu_busy_seconds)
+        << "threads=" << threads;
+    EXPECT_EQ(res.run.fpga_busy_seconds, ref.run.fpga_busy_seconds)
+        << "threads=" << threads;
+    EXPECT_TRUE(la::bit_equal(res.distances.view(), ref.distances.view()))
+        << "threads=" << threads;
+  }
+  common::ThreadPool::set_global_threads(1);
+}
+
+}  // namespace

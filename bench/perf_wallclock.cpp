@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/drift.hpp"
 #include "core/fw_functional.hpp"
 #include "core/lu_functional.hpp"
 #include "core/system.hpp"
@@ -26,6 +27,7 @@
 #include "graph/generate.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/generate.hpp"
+#include "obs/provenance.hpp"
 
 namespace la = rcs::linalg;
 namespace core = rcs::core;
@@ -130,20 +132,30 @@ Row bench_fw_functional(long long n, long long b, int threads) {
   return row;
 }
 
-void write_json(const std::vector<Row>& rows, const std::string& path) {
+void write_json(const std::vector<Row>& rows,
+                const core::DriftReport& lu_drift,
+                const core::DriftReport& fw_drift, const std::string& path) {
   std::ofstream out(path);
-  out << "[\n";
+  out << "{\n";
+  out << "  \"provenance\": ";
+  rcs::obs::Provenance::collect().write_json(out, 2);
+  out << ",\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "  {\"kernel\": \"%s\", \"size\": %lld, \"threads\": %d, "
+                  "    {\"kernel\": \"%s\", \"size\": %lld, \"threads\": %d, "
                   "\"seconds\": %.6f, \"gflops\": %.3f}%s\n",
                   r.kernel.c_str(), r.size, r.threads, r.seconds, r.gflops,
                   i + 1 < rows.size() ? "," : "");
     out << buf;
   }
-  out << "]\n";
+  out << "  ],\n";
+  out << "  \"drift\": {\n    \"lu\": ";
+  lu_drift.write_json(out, 4);
+  out << ",\n    \"fw\": ";
+  fw_drift.write_json(out, 4);
+  out << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -204,7 +216,33 @@ int main(int argc, char** argv) {
                 tiled_1024 / packed_1024_best);
   }
 
-  write_json(rows, path);
+  // --- Drift reports: the paper's model vs the simulated schedule vs this
+  // machine's wall clock, per phase, at the same mid-size design points.
+  core::DriftReport lu_drift, fw_drift;
+  {
+    core::SystemParams sys = core::SystemParams::cray_xd1();
+    sys.p = 3;
+    core::LuConfig cfg;
+    cfg.n = 256;
+    cfg.b = 64;
+    cfg.mode = core::DesignMode::Hybrid;
+    const la::Matrix a = la::diagonally_dominant(256, 42);
+    lu_drift = core::lu_drift_report(sys, cfg, a);
+  }
+  {
+    core::SystemParams sys = core::SystemParams::cray_xd1();
+    sys.p = 2;
+    core::FwConfig cfg;
+    cfg.n = 256;
+    cfg.b = 32;
+    cfg.mode = core::DesignMode::Hybrid;
+    const la::Matrix d0 = rcs::graph::random_digraph(256, 7, 0.4);
+    fw_drift = core::fw_drift_report(sys, cfg, d0);
+  }
+  lu_drift.print(std::cout);
+  fw_drift.print(std::cout);
+
+  write_json(rows, lu_drift, fw_drift, path);
   std::cout << "wrote " << path << "\n";
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "core/drift.hpp"
 #include "core/rcs.hpp"
 
 using namespace rcs;
@@ -52,6 +53,9 @@ int main(int argc, char** argv) {
   cli.add_int("l", -1, "override l / l1 (-1: solve)");
   cli.add_int("seed", 1, "workload seed (functional)");
   cli.add_bool("csv", false, "emit CSV instead of a table");
+  cli.add_bool("drift", false,
+               "functional lu/fw only: also print the per-phase predicted vs "
+               "simulated vs measured drift report");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string app = cli.get_string("app");
@@ -161,6 +165,25 @@ int main(int argc, char** argv) {
     t.print_csv(std::cout);
   } else {
     t.print(std::cout);
+  }
+
+  if (cli.get_bool("drift")) {
+    RCS_CHECK_MSG(functional && (app == "lu" || app == "fw"),
+                  "--drift needs --plane functional and --app lu|fw");
+    if (app == "lu") {
+      core::LuConfig cfg;
+      cfg.n = n; cfg.b = b; cfg.mode = mode;
+      cfg.b_f = cli.get_int("bf");
+      cfg.l = static_cast<int>(cli.get_int("l"));
+      const auto a = linalg::diagonally_dominant(n, seed);
+      core::lu_drift_report(sys, cfg, a).print(std::cout);
+    } else {
+      core::FwConfig cfg;
+      cfg.n = n; cfg.b = b; cfg.mode = mode;
+      cfg.l1 = cli.get_int("l");
+      const auto d0 = graph::random_digraph(n, seed, 0.5);
+      core::fw_drift_report(sys, cfg, d0).print(std::cout);
+    }
   }
   return 0;
 }

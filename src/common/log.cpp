@@ -9,19 +9,7 @@ namespace rcs::log {
 
 namespace {
 
-Level parse_env() {
-  const char* e = std::getenv("RCS_LOG_LEVEL");
-  if (e == nullptr) return Level::Warn;
-  if (std::strcmp(e, "trace") == 0) return Level::Trace;
-  if (std::strcmp(e, "debug") == 0) return Level::Debug;
-  if (std::strcmp(e, "info") == 0) return Level::Info;
-  if (std::strcmp(e, "warn") == 0) return Level::Warn;
-  if (std::strcmp(e, "error") == 0) return Level::Error;
-  if (std::strcmp(e, "off") == 0) return Level::Off;
-  return Level::Warn;
-}
-
-std::atomic<Level> g_level{parse_env()};
+std::atomic<Level> g_level{parse_level(std::getenv("RCS_LOG_LEVEL"))};
 std::mutex g_mutex;
 
 const char* name(Level lvl) {
@@ -37,6 +25,17 @@ const char* name(Level lvl) {
 }
 
 }  // namespace
+
+Level parse_level(const char* name, Level fallback) {
+  if (name == nullptr) return fallback;
+  if (std::strcmp(name, "trace") == 0) return Level::Trace;
+  if (std::strcmp(name, "debug") == 0) return Level::Debug;
+  if (std::strcmp(name, "info") == 0) return Level::Info;
+  if (std::strcmp(name, "warn") == 0) return Level::Warn;
+  if (std::strcmp(name, "error") == 0) return Level::Error;
+  if (std::strcmp(name, "off") == 0) return Level::Off;
+  return fallback;
+}
 
 void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 

@@ -23,6 +23,11 @@ Level level();
 /// True when a message at `lvl` would be emitted.
 bool enabled(Level lvl);
 
+/// Parse a level name ("trace"|"debug"|"info"|"warn"|"error"|"off");
+/// nullptr or anything unrecognized yields `fallback`. This is exactly the
+/// rule applied to $RCS_LOG_LEVEL at startup.
+Level parse_level(const char* name, Level fallback = Level::Warn);
+
 namespace detail {
 void emit(Level lvl, const std::string& msg);
 

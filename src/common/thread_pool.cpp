@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::common {
 
@@ -20,6 +22,31 @@ namespace {
 /// detect it and run serially instead of re-entering the pool.
 thread_local bool tls_in_parallel_body = false;
 
+/// Pool telemetry: resolved once, recorded with relaxed atomics only when
+/// RCS_METRICS / RCS_TRACE are on. Wall-clock only — the determinism
+/// contract (simulated timings never flow through the pool) is untouched.
+struct PoolMetrics {
+  obs::Counter& jobs;          // parallel_for calls that fanned out
+  obs::Counter& serial_runs;   // calls that degraded to serial
+  obs::Counter& chunks;        // chunks executed (all threads)
+  obs::Counter& busy_ns;       // summed wall time inside chunk bodies
+  obs::Histogram& queue_wait;  // ns from job submit to chunk claim
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().counter("pool.jobs"),
+        obs::Registry::global().counter("pool.serial_runs"),
+        obs::Registry::global().counter("pool.chunks"),
+        obs::Registry::global().counter("pool.busy_ns"),
+        obs::Registry::global().histogram("pool.queue_wait_ns")};
+    return m;
+  }
+};
+
+bool pool_telemetry_on() {
+  return obs::metrics_enabled() || obs::trace_enabled();
+}
+
 /// One parallel_for invocation: a statically chunked range plus completion
 /// bookkeeping. Shared between the submitting thread and the workers.
 struct Job {
@@ -27,6 +54,7 @@ struct Job {
   std::size_t begin = 0;
   std::size_t count = 0;    // end - begin
   std::size_t nchunks = 0;  // static partition size
+  std::int64_t submit_ns = -1;       // telemetry: when the job was enqueued
   std::atomic<std::size_t> next{0};  // next unclaimed chunk index
   std::atomic<std::size_t> done{0};  // chunks finished
   std::mutex mu;
@@ -45,6 +73,7 @@ struct Job {
   bool run_one() {
     const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
     if (c >= nchunks) return false;
+    const std::int64_t t0 = submit_ns >= 0 ? obs::trace_now_ns() : -1;
     const bool saved = tls_in_parallel_body;
     tls_in_parallel_body = true;
     try {
@@ -54,6 +83,14 @@ struct Job {
       if (!error) error = std::current_exception();
     }
     tls_in_parallel_body = saved;
+    if (t0 >= 0) {
+      const std::int64_t t1 = obs::trace_now_ns();
+      PoolMetrics& pm = PoolMetrics::get();
+      pm.chunks.add(1);
+      pm.busy_ns.add(static_cast<std::uint64_t>(t1 - t0));
+      pm.queue_wait.record(static_cast<double>(t0 - submit_ns));
+      obs::record_span("chunk", "pool", t0, t1);
+    }
     if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == nchunks) {
       std::lock_guard<std::mutex> lock(mu);
       cv.notify_all();
@@ -96,7 +133,10 @@ struct ThreadPool::Impl {
     threads = std::max(1, n);
     workers.reserve(static_cast<std::size_t>(threads - 1));
     for (int i = 0; i < threads - 1; ++i) {
-      workers.emplace_back([this] { worker_main(); });
+      workers.emplace_back([this, i] {
+        obs::set_thread_lane("pool.worker " + std::to_string(i));
+        worker_main();
+      });
     }
   }
 
@@ -130,16 +170,22 @@ void ThreadPool::parallel_for(
   const std::size_t g = std::max<std::size_t>(1, grain);
   const std::size_t max_chunks = std::min<std::size_t>(
       static_cast<std::size_t>(impl_->threads), std::max<std::size_t>(1, count / g));
+  const bool telemetry = pool_telemetry_on();
   if (max_chunks <= 1 || tls_in_parallel_body) {
+    if (telemetry) PoolMetrics::get().serial_runs.add(1);
+    obs::ScopedTimer span("parallel_for(serial)", "pool");
     body(begin, end);
     return;
   }
+  if (telemetry) PoolMetrics::get().jobs.add(1);
+  obs::ScopedTimer span("parallel_for", "pool");
 
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->begin = begin;
   job->count = count;
   job->nchunks = max_chunks;
+  if (telemetry) job->submit_ns = obs::trace_now_ns();
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->jobs.push_back(job);

@@ -1,0 +1,70 @@
+#pragma once
+// Model-vs-measured drift reports (the observability capstone): run a
+// functional LU / Floyd-Warshall design with telemetry forced on and line up
+// three views of every phase —
+//
+//   predicted  — the paper's performance model, as per-phase resource-seconds
+//                (core::predict_*_phase_seconds),
+//   simulated  — virtual-clock busy time by trace label from the run's
+//                sim::TraceRecorder,
+//   measured   — real wall-clock accumulated by the obs::PhaseSpan counters
+//                ("lu.wall.opMM_ns", ...), summed across ranks and pool
+//                workers.
+//
+// Predicted and simulated share the machine model, so their drift isolates
+// scheduling effects the closed-form prediction ignores; measured runs on
+// the host (the FPGA share is emulated), so its drift calibrates how far
+// this machine is from the modeled Cray XD1 node. Reports feed
+// BENCH_perf.json via bench/perf_wallclock.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fw_analytic.hpp"
+#include "core/lu_analytic.hpp"
+#include "linalg/matrix.hpp"
+
+namespace rcs::core {
+
+/// One phase's three-way comparison.
+struct PhaseDrift {
+  std::string phase;         // "opLU", "opMM", ... / "op1", "op3", ...
+  double predicted_s = 0.0;  // model resource-seconds, summed over ranks
+  double simulated_s = 0.0;  // virtual-clock busy time, summed over ranks
+  double measured_s = 0.0;   // wall-clock, summed over threads
+
+  /// |measured - predicted| / predicted (0 when nothing was predicted).
+  double drift_measured() const;
+  /// |simulated - predicted| / predicted.
+  double drift_simulated() const;
+};
+
+/// Whole-run drift report for one design point.
+struct DriftReport {
+  std::string design;               // e.g. "LU/hybrid/functional"
+  std::vector<PhaseDrift> phases;   // model-covered phases, stable order
+  double predicted_latency_s = 0.0;   // max(T_tp, T_tf), Eq. §4.5
+  double simulated_makespan_s = 0.0;  // latest virtual clock across ranks
+  double measured_wall_s = 0.0;       // elapsed wall time of the run
+  std::map<std::string, double> utilization;  // resource -> busy / makespan
+
+  /// JSON object, each line prefixed with `indent` spaces (for embedding).
+  void write_json(std::ostream& os, int indent = 0) const;
+
+  /// Human-readable table.
+  void print(std::ostream& os) const;
+};
+
+/// Run the configured LU design on `a` with telemetry forced on and return
+/// the per-phase drift. Metrics/trace enablement is restored on return;
+/// counters are diffed, not reset, so surrounding telemetry survives.
+DriftReport lu_drift_report(const SystemParams& sys, const LuConfig& cfg,
+                            const linalg::Matrix& a);
+
+/// Floyd-Warshall counterpart of lu_drift_report.
+DriftReport fw_drift_report(const SystemParams& sys, const FwConfig& cfg,
+                            const linalg::Matrix& d0);
+
+}  // namespace rcs::core

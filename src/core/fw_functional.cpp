@@ -11,6 +11,7 @@
 #include "graph/floyd_warshall.hpp"
 #include "net/matrix_channel.hpp"
 #include "node/compute_node.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::core {
 
@@ -143,6 +144,9 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
           0, static_cast<std::size_t>(total), 1,
           [&](std::size_t i0, std::size_t i1) {
             for (std::size_t i = i0; i < i1; ++i) {
+              // task.label is a string literal ("op21"/"op22"/"op3"), so it
+              // satisfies PhaseSpan's static-lifetime requirement.
+              obs::PhaseSpan phase("fw", tasks[i].label);
               const bool fpga_task =
                   static_cast<long long>(i) >= total - on_fpga;
               if (fpga_task && use_soft_fp) {
@@ -161,19 +165,22 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
       // Phase 0: op1 on the owner, then broadcast of D_tt.
       Matrix dtt;
       if (me == owner) {
-        if (cfg.mode == DesignMode::FpgaOnly) {
-          node.dram_to_fpga(task_bytes);
-          node.fpga_submit(task_cycles, "op1");
-          node.note_fpga_flops(task_flops);
-          if (use_soft_fp) {
-            kernel.run_block_soft(lblk(t, t), lblk(t, t), lblk(t, t));
+        {
+          obs::PhaseSpan phase("fw", "op1");
+          if (cfg.mode == DesignMode::FpgaOnly) {
+            node.dram_to_fpga(task_bytes);
+            node.fpga_submit(task_cycles, "op1");
+            node.note_fpga_flops(task_flops);
+            if (use_soft_fp) {
+              kernel.run_block_soft(lblk(t, t), lblk(t, t), lblk(t, t));
+            } else {
+              kernel.run_block(lblk(t, t), lblk(t, t), lblk(t, t));
+            }
+            node.fpga_wait();
           } else {
-            kernel.run_block(lblk(t, t), lblk(t, t), lblk(t, t));
+            graph::fw_block(lblk(t, t), lblk(t, t), lblk(t, t));
+            node.cpu_compute(node::CpuKernel::FwBlock, task_flops, "op1");
           }
-          node.fpga_wait();
-        } else {
-          graph::fw_block(lblk(t, t), lblk(t, t), lblk(t, t));
-          node.cpu_compute(node::CpuKernel::FwBlock, task_flops, "op1");
         }
         dtt = Matrix::from_view(lblk(t, t));
         for (int r = 0; r < p; ++r) {
@@ -280,6 +287,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     st.coordination = node.coordination_events();
 
     // Untimed gather of the block-columns at rank 0.
+    obs::PhaseSpan phase("fw", "gather");
     if (me == 0) {
       linalg::copy(local.view(), distances.block(0, 0, n, cols_per_rank * b));
       for (int r = 1; r < p; ++r) {

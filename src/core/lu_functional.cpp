@@ -12,6 +12,7 @@
 #include "linalg/getrf.hpp"
 #include "net/matrix_channel.hpp"
 #include "node/compute_node.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::core {
 
@@ -155,8 +156,11 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
       if (me == panel) {
         // --- Panel pipeline: opLU, then opL/opU pairs, serving stripe data
         // for up to l ready opMM tasks after each panel operation.
-        linalg::getrf_unblocked(blk(t, t).view());
-        node.cpu_compute(node::CpuKernel::Dgetrf, (2.0 / 3.0) * b3, "opLU");
+        {
+          obs::PhaseSpan phase("lu", "opLU");
+          linalg::getrf_unblocked(blk(t, t).view());
+          node.cpu_compute(node::CpuKernel::Dgetrf, (2.0 / 3.0) * b3, "opLU");
+        }
 
         long long served = 0;
         long long ready = 0;
@@ -184,12 +188,18 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
         };
         const long long m = nb - 1 - t;
         for (long long i = 1; i <= m; ++i) {
-          linalg::trsm_right_upper(blk(t, t).view(), blk(t + i, t).view());
-          node.cpu_compute(node::CpuKernel::Dtrsm, b3, "opL");
+          {
+            obs::PhaseSpan phase("lu", "opL");
+            linalg::trsm_right_upper(blk(t, t).view(), blk(t + i, t).view());
+            node.cpu_compute(node::CpuKernel::Dtrsm, b3, "opL");
+          }
           if (l > 0) serve(l);
-          linalg::trsm_left_lower_unit(blk(t, t).view(),
-                                       blk(t, t + i).view());
-          node.cpu_compute(node::CpuKernel::Dtrsm, b3, "opU");
+          {
+            obs::PhaseSpan phase("lu", "opU");
+            linalg::trsm_left_lower_unit(blk(t, t).view(),
+                                         blk(t, t + i).view());
+            node.cpu_compute(node::CpuKernel::Dtrsm, b3, "opU");
+          }
           ready = i * i;
           if (l > 0) serve(l);
         }
@@ -208,44 +218,48 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
           Matrix e(b, cw);
           auto dshare = d.block(0, c0, b, cw);
 
-          // Timing: stream the k-wide stripes; the FPGA pipelines behind the
-          // DRAM stream while the CPU computes its own rows.
-          for (long long s = 0; s < b; s += k) {
-            const long long ks = std::min(k, b - s);
+          {
+            obs::PhaseSpan phase("lu", "opMM");
+            // Timing: stream the k-wide stripes; the FPGA pipelines behind
+            // the DRAM stream while the CPU computes its own rows.
+            for (long long s = 0; s < b; s += k) {
+              const long long ks = std::min(k, b - s);
+              if (b_f > 0) {
+                node.dram_to_fpga(static_cast<std::uint64_t>(
+                    (b_f * ks + ks * cw) * 8));
+                node.fpga_submit(
+                    static_cast<double>(array.cycles(b_f, ks, cw)), "opMM");
+              }
+              if (b_p > 0) {
+                node.cpu_compute(node::CpuKernel::Dgemm,
+                                 2.0 * static_cast<double>(b_p * ks * cw),
+                                 "opMM");
+              }
+            }
+            // Functional compute (order-identical to the stripe stream).
             if (b_f > 0) {
-              node.dram_to_fpga(static_cast<std::uint64_t>(
-                  (b_f * ks + ks * cw) * 8));
-              node.fpga_submit(
-                  static_cast<double>(array.cycles(b_f, ks, cw)), "opMM");
+              auto e_f = e.block(0, 0, b_f, cw);
+              auto c_f = c.block(0, 0, b_f, b);
+              if (use_soft_fp) {
+                array.multiply_accumulate_soft(c_f, dshare, e_f);
+              } else {
+                array.multiply_accumulate(c_f, dshare, e_f);
+              }
+              node.note_fpga_flops(2.0 * static_cast<double>(b_f * b * cw));
             }
             if (b_p > 0) {
-              node.cpu_compute(node::CpuKernel::Dgemm,
-                               2.0 * static_cast<double>(b_p * ks * cw),
-                               "opMM");
+              linalg::gemm(c.block(b_f, 0, b_p, b), dshare,
+                           e.block(b_f, 0, b_p, cw));
             }
-          }
-          // Functional compute (order-identical to the stripe stream).
-          if (b_f > 0) {
-            auto e_f = e.block(0, 0, b_f, cw);
-            auto c_f = c.block(0, 0, b_f, b);
-            if (use_soft_fp) {
-              array.multiply_accumulate_soft(c_f, dshare, e_f);
-            } else {
-              array.multiply_accumulate(c_f, dshare, e_f);
+            if (b_f > 0) {
+              node.fpga_wait();
+              node.read_fpga_results("opMM partial product");
             }
-            node.note_fpga_flops(2.0 * static_cast<double>(b_f * b * cw));
-          }
-          if (b_p > 0) {
-            linalg::gemm(c.block(b_f, 0, b_p, b), dshare,
-                         e.block(b_f, 0, b_p, cw));
-          }
-          if (b_f > 0) {
-            node.fpga_wait();
-            node.read_fpga_results("opMM partial product");
           }
           const int dst = owner_of(u, v, p);
           if (dst == me) {
             // This worker owns the block: apply its own opMS share locally.
+            obs::PhaseSpan phase("lu", "opMS");
             linalg::matrix_sub(blk(u, v).block(0, c0, b, cw), e.view());
             node.cpu_compute(node::CpuKernel::MemBound,
                              static_cast<double>(b * cw), "opMS");
@@ -266,6 +280,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
           const int widx = r < panel ? r : r - 1;
           const auto [c0, c1] = worker_columns(b, workers, widx);
           Matrix e = net::recv_matrix(comm, r, make_tag(Chan::EShare, t, j));
+          obs::PhaseSpan phase("lu", "opMS");
           linalg::matrix_sub(blk(u, v).block(0, c0, b, c1 - c0), e.view());
           node.cpu_compute(node::CpuKernel::MemBound,
                            static_cast<double>(b * (c1 - c0)), "opMS");
@@ -285,6 +300,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
     st.coordination = node.coordination_events();
 
     // Gather the factored blocks at rank 0.
+    obs::PhaseSpan phase("lu", "gather");
     if (me == 0) {
       for (long long u = 0; u < nb; ++u) {
         for (long long v = 0; v < nb; ++v) {

@@ -7,6 +7,9 @@
 // (LU) and >= 96% (FW) of this prediction; the fig9 bench reproduces that
 // comparison against the schedule simulators.
 
+#include <map>
+#include <string>
+
 #include "core/fw_analytic.hpp"
 #include "core/lu_analytic.hpp"
 
@@ -30,5 +33,22 @@ Prediction predict_lu(const SystemParams& sys, const LuConfig& cfg);
 
 /// Predict the configured Floyd–Warshall design.
 Prediction predict_fw(const SystemParams& sys, const FwConfig& cfg);
+
+/// Per-phase predicted *resource-seconds*: total busy time each phase
+/// consumes summed over every rank's CPU and FPGA (not the critical path,
+/// which overlaps roles). These are directly comparable to the simulated
+/// busy-by-label sums of a traced functional run and to the wall-clock
+/// phase counters ("lu.wall.<phase>_ns") of the telemetry layer — the three
+/// columns of the drift report.
+///
+/// LU keys: "opLU", "opL", "opU", "opMM.cpu", "opMM.fpga", "opMS".
+std::map<std::string, double> predict_lu_phase_seconds(const SystemParams& sys,
+                                                       const LuConfig& cfg);
+
+/// FW keys: "op1", "op21", "op22", "op3". Block tasks are whole-task
+/// scheduled l1:l2 across sides regardless of label, so op21/op22/op3 are
+/// charged the split-averaged task cost (l1*t_p + l2*t_f) / (l1 + l2).
+std::map<std::string, double> predict_fw_phase_seconds(const SystemParams& sys,
+                                                       const FwConfig& cfg);
 
 }  // namespace rcs::core

@@ -1,8 +1,30 @@
 #include "fpga/fw_kernel.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::fpga {
+
+namespace {
+
+/// Telemetry for the emulated Floyd-Warshall kernel. `relaxations` counts
+/// compare-add operations (b^3 per block); `stall_cycles` is the PE-slot
+/// surplus of the cycle model (cycles * k) over 2*b^3 useful flops.
+struct FwMetrics {
+  obs::Counter& calls;
+  obs::Counter& relaxations;
+  obs::Counter& stall_cycles;
+
+  static FwMetrics& get() {
+    static FwMetrics m{obs::Registry::global().counter("fpga.fw.calls"),
+                       obs::Registry::global().counter("fpga.fw.relaxations"),
+                       obs::Registry::global().counter("fpga.fw.stalls")};
+    return m;
+  }
+};
+
+}  // namespace
 
 FwKernel::FwKernel(DeviceConfig dev) : dev_(std::move(dev)) {
   RCS_CHECK_MSG(dev_.pe_count > 0, "FwKernel needs at least one PE");
@@ -28,6 +50,19 @@ void FwKernel::run_impl(Span2D<double> c, Span2D<const double> a,
                     c.cols() == b.cols(),
                 "fw block shape mismatch");
   require_fits(static_cast<long long>(c.rows()));
+  obs::ScopedTimer span("fw_block", "fpga");
+  if (obs::metrics_enabled()) {
+    FwMetrics& fm = FwMetrics::get();
+    fm.calls.add(1);
+    const std::uint64_t useful = static_cast<std::uint64_t>(c.rows()) *
+                                 c.cols() * a.cols();
+    fm.relaxations.add(useful);
+    const std::uint64_t slots =
+        static_cast<std::uint64_t>(cycles(static_cast<long long>(c.rows()))) *
+        static_cast<std::uint64_t>(dev_.pe_count);
+    // Each relaxation is a compare + add = 2 PE operations.
+    if (slots > 2 * useful) fm.stall_cycles.add(slots - 2 * useful);
+  }
   const std::size_t kk = a.cols();
   for (std::size_t k = 0; k < kk; ++k) {
     for (std::size_t i = 0; i < c.rows(); ++i) {

@@ -2,8 +2,31 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::fpga {
+
+namespace {
+
+/// Telemetry for the emulated PE array. `stall_cycles` estimates the PE
+/// slots the systolic schedule would leave idle on ragged tiles: the cycle
+/// model charges full k x k tiles, so slots = cycles * k while the useful
+/// work is only m * inner * n MACs.
+struct MmMetrics {
+  obs::Counter& calls;
+  obs::Counter& macs;
+  obs::Counter& stall_cycles;
+
+  static MmMetrics& get() {
+    static MmMetrics m{obs::Registry::global().counter("fpga.mm.calls"),
+                       obs::Registry::global().counter("fpga.mm.macs"),
+                       obs::Registry::global().counter("fpga.mm.stalls")};
+    return m;
+  }
+};
+
+}  // namespace
 
 MatMulArray::MatMulArray(DeviceConfig dev) : dev_(std::move(dev)) {
   RCS_CHECK_MSG(dev_.pe_count > 0, "MatMulArray needs at least one PE");
@@ -13,6 +36,20 @@ MatMulArray::MatMulArray(DeviceConfig dev) : dev_(std::move(dev)) {
                2ull * static_cast<std::uint64_t>(dev_.pe_count) *
                    static_cast<std::uint64_t>(dev_.pe_count),
                "matmul PE array");
+}
+
+void MatMulArray::note_call(std::size_t m, std::size_t inner,
+                            std::size_t n) const {
+  MmMetrics& mm = MmMetrics::get();
+  mm.calls.add(1);
+  const std::uint64_t useful = static_cast<std::uint64_t>(m) * inner * n;
+  mm.macs.add(useful);
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(cycles(static_cast<long long>(m),
+                                        static_cast<long long>(inner),
+                                        static_cast<long long>(n))) *
+      static_cast<std::uint64_t>(dev_.pe_count);
+  mm.stall_cycles.add(slots - useful);
 }
 
 long long MatMulArray::cycles(long long m, long long inner,
@@ -34,6 +71,8 @@ void MatMulArray::mac_impl(Span2D<const double> c, Span2D<const double> d,
   require_sram(dev_, sram_words(static_cast<long long>(e.rows()),
                                 static_cast<long long>(e.cols())),
                "matmul result tile");
+  obs::ScopedTimer span("mm", "fpga");
+  if (obs::metrics_enabled()) note_call(e.rows(), c.cols(), e.cols());
   // Dot products accumulate in ascending inner-index order, exactly like the
   // streaming PEs (and the host gemm). Result rows are independent, so the
   // emulation parallelizes over them on the shared pool without changing any
@@ -72,6 +111,8 @@ void MatMulArray::mac_nt_impl(Span2D<const double> c, Span2D<const double> d,
   require_sram(dev_, sram_words(static_cast<long long>(e.rows()),
                                 static_cast<long long>(e.cols())),
                "matmul-nt result tile");
+  obs::ScopedTimer span("mm_nt", "fpga");
+  if (obs::metrics_enabled()) note_call(e.rows(), c.cols(), e.cols());
   common::parallel_for(0, e.rows(), 1, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       for (std::size_t j = 0; j < e.cols(); ++j) {

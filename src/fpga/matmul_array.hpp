@@ -84,6 +84,9 @@ class MatMulArray {
   void mac_nt_impl(Span2D<const double> c, Span2D<const double> d,
                    Span2D<double> e) const;
 
+  /// Telemetry: bump fpga.mm.{calls,macs,stalls} for one m x inner x n call.
+  void note_call(std::size_t m, std::size_t inner, std::size_t n) const;
+
   DeviceConfig dev_;
 };
 

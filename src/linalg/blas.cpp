@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::linalg {
 
@@ -196,12 +198,23 @@ void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
   check_gemm_shapes(a, b, c);
   const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
   if (m == 0 || n == 0 || k == 0) return;
+  // Telemetry: one relaxed add per *call* (never per element), so the
+  // instrumented kernel's wall time is indistinguishable from the bare one.
+  const bool metrics = obs::metrics_enabled();
+  if (metrics) {
+    static obs::Counter& calls = obs::Registry::global().counter("gemm.calls");
+    static obs::Counter& flops = obs::Registry::global().counter("gemm.flops");
+    calls.add(1);
+    flops.add(static_cast<std::uint64_t>(2) * m * n * k);
+  }
+  obs::ScopedTimer span("gemm", "linalg");
   // Small products: packing overhead dominates; the tiled loop is equally
   // bit-identical to gemm_naive, so falling back changes nothing but speed.
   if (m * n * k <= 48 * 48 * 48) {
     gemm_tiled(a, b, c);
     return;
   }
+  std::size_t pack_bytes = 0;
   std::vector<double> bpack;
   for (std::size_t j0 = 0; j0 < n; j0 += NC) {
     const std::size_t nc = std::min(NC, n - j0);
@@ -209,6 +222,11 @@ void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
     for (std::size_t k0 = 0; k0 < k; k0 += KC) {
       const std::size_t kc = std::min(KC, k - k0);
       pack_b_panel(b, k0, kc, j0, nc, bpack);
+      if (metrics) {
+        // B panel bytes plus the A micropanels every i-tile will pack.
+        pack_bytes += (npanels * kc * NR +
+                       (m + MR - 1) / MR * kc * MR) * sizeof(double);
+      }
       // Parallel over MC-row i-tiles: tiles write disjoint row ranges of C,
       // so the shared global pool can split them freely.
       const std::size_t ntiles = (m + MC - 1) / MC;
@@ -232,6 +250,11 @@ void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
         }
       });
     }
+  }
+  if (metrics) {
+    static obs::Counter& packed =
+        obs::Registry::global().counter("gemm.pack_bytes");
+    packed.add(pack_bytes);
   }
 }
 

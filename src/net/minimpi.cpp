@@ -4,9 +4,51 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace rcs::net {
 
+namespace {
+
+/// World-level telemetry: totals over all ranks plus per-collective counts.
+struct NetMetrics {
+  obs::Counter& msgs;
+  obs::Counter& bytes;
+  obs::Counter& bcasts;
+  obs::Counter& barriers;
+  obs::Counter& allgathers;
+  obs::Counter& reduces;
+
+  static NetMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static NetMetrics m{reg.counter("net.msgs_sent"),
+                        reg.counter("net.bytes_sent"),
+                        reg.counter("net.collectives.bcast"),
+                        reg.counter("net.collectives.barrier"),
+                        reg.counter("net.collectives.allgather"),
+                        reg.counter("net.collectives.reduce")};
+    return m;
+  }
+};
+
+}  // namespace
+
 int Comm::size() const { return world_->size(); }
+
+void Comm::note_send_metrics(std::uint64_t bytes) {
+  if (!obs::metrics_enabled()) return;
+  if (metric_msgs_ == nullptr) {
+    auto& reg = obs::Registry::global();
+    const std::string prefix = "net.rank" + std::to_string(rank_);
+    metric_msgs_ = &reg.counter(prefix + ".msgs_sent");
+    metric_bytes_ = &reg.counter(prefix + ".bytes_sent");
+  }
+  metric_msgs_->add(1);
+  metric_bytes_->add(bytes);
+  NetMetrics& nm = NetMetrics::get();
+  nm.msgs.add(1);
+  nm.bytes.add(bytes);
+}
 
 void Comm::log_message(int dst, std::uint64_t bytes, SimTime depart,
                        SimTime arrival) {
@@ -17,6 +59,8 @@ void Comm::log_message(int dst, std::uint64_t bytes, SimTime depart,
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   RCS_CHECK_MSG(dst >= 0 && dst < world_->size(), "send to bad rank " << dst);
   RCS_CHECK_MSG(dst != rank_, "send to self (rank " << rank_ << ")");
+  obs::ScopedTimer span("send", "net");
+  note_send_metrics(bytes);
   // §4.3: the processor drives MPI, so the CPU is busy for the whole
   // serialization; arrival coincides with send completion.
   const SimTime depart = clock_.now();
@@ -37,6 +81,8 @@ void Comm::isend_bytes(int dst, int tag, const void* data,
                        std::size_t bytes) {
   RCS_CHECK_MSG(dst >= 0 && dst < world_->size(), "isend to bad rank " << dst);
   RCS_CHECK_MSG(dst != rank_, "isend to self (rank " << rank_ << ")");
+  obs::ScopedTimer span("isend", "net");
+  note_send_metrics(bytes);
   // CPU pays only the DMA setup; the NIC serializes the transfer.
   clock_.advance(world_->network().latency_s);
   const SimTime start = std::max(clock_.now(), nic_busy_until_);
@@ -58,6 +104,7 @@ std::vector<std::byte> Comm::bcast_tree(int root, int tag,
                                         std::vector<std::byte> payload) {
   const int p = size();
   RCS_CHECK_MSG(root >= 0 && root < p, "bcast_tree bad root " << root);
+  if (obs::metrics_enabled() && rank_ == root) NetMetrics::get().bcasts.add(1);
   if (p == 1) return payload;
   // Classic binomial tree on virtual ranks (root = virtual 0): a rank's
   // parent clears its lowest set bit; it forwards to vrank + s for every
@@ -83,6 +130,9 @@ std::vector<std::byte> Comm::bcast_tree(int root, int tag,
 std::vector<double> Comm::allgather_doubles(int tag,
                                             const std::vector<double>& mine) {
   const int p = size();
+  if (obs::metrics_enabled() && rank_ == 0) {
+    NetMetrics::get().allgathers.add(1);
+  }
   std::vector<double> all;
   if (rank_ == 0) {
     // Count header then payload from each rank, in rank order.
@@ -102,6 +152,7 @@ std::vector<double> Comm::allgather_doubles(int tag,
 double Comm::reduce_sum(int root, int tag, double value) {
   const int p = size();
   RCS_CHECK_MSG(root >= 0 && root < p, "reduce bad root " << root);
+  if (obs::metrics_enabled() && rank_ == root) NetMetrics::get().reduces.add(1);
   if (rank_ != root) {
     send_doubles(root, tag, &value, 1);
     return 0.0;
@@ -117,6 +168,9 @@ double Comm::reduce_sum(int root, int tag, double value) {
 Message Comm::recv(int src, int tag) {
   RCS_CHECK_MSG(src >= 0 && src < world_->size(), "recv from bad rank " << src);
   RCS_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
+  // The span covers the blocking mailbox wait — idle time shows up in the
+  // trace as long "recv" slices on the waiting rank's lane.
+  obs::ScopedTimer span("recv", "net");
   Message msg = world_->take(rank_, src, tag);
   clock_.advance_to(msg.arrival);
   return msg;
@@ -126,6 +180,7 @@ std::vector<std::byte> Comm::bcast(int root, int tag,
                                    std::vector<std::byte> payload) {
   const int p = size();
   RCS_CHECK_MSG(root >= 0 && root < p, "bcast bad root " << root);
+  if (obs::metrics_enabled() && rank_ == root) NetMetrics::get().bcasts.add(1);
   if (rank_ == root) {
     for (int r = 0; r < p; ++r) {
       if (r == root) continue;
@@ -157,6 +212,8 @@ void Comm::barrier() {
   constexpr int kReleaseTag = -1002;
   const int p = size();
   if (p == 1) return;
+  if (obs::metrics_enabled() && rank_ == 0) NetMetrics::get().barriers.add(1);
+  obs::ScopedTimer span("barrier", "net");
   const std::byte token{0};
   if (rank_ == 0) {
     SimTime latest = clock_.now();
@@ -273,6 +330,11 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([this, r, &rank_main, &err_mu, &first_error] {
       try {
+        // Each rank gets its own trace lane, so Perfetto shows per-rank
+        // timelines alongside the pool workers'.
+        if (obs::trace_enabled()) {
+          obs::set_thread_lane("rank " + std::to_string(r));
+        }
         rank_main(*comms_[static_cast<std::size_t>(r)]);
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 // Extended collectives and DMA-style transfers live alongside the basic
@@ -194,11 +195,17 @@ class Comm {
   void log_message(int dst, std::uint64_t bytes, SimTime depart,
                    SimTime arrival);
 
+  /// Telemetry: bump the global + per-rank message/byte counters (no-op
+  /// when RCS_METRICS is off). Handles resolve lazily, once per Comm.
+  void note_send_metrics(std::uint64_t bytes);
+
   World* world_;
   int rank_;
   VirtualClock clock_;
   SimTime nic_busy_until_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
+  obs::Counter* metric_msgs_ = nullptr;   // "net.rank<r>.msgs_sent"
+  obs::Counter* metric_bytes_ = nullptr;  // "net.rank<r>.bytes_sent"
   std::vector<MessageEvent> sent_log_;  // only filled when logging enabled
 };
 

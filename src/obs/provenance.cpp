@@ -1,0 +1,58 @@
+#include "obs/provenance.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#ifndef RCS_GIT_SHA
+#define RCS_GIT_SHA "unknown"
+#endif
+#ifndef RCS_BUILD_TYPE
+#define RCS_BUILD_TYPE "unknown"
+#endif
+
+namespace rcs::obs {
+
+Provenance Provenance::collect() {
+  Provenance p;
+  p.git_sha = RCS_GIT_SHA;
+  p.build_type = RCS_BUILD_TYPE;
+#if defined(__clang__)
+  p.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  p.compiler = std::string("gcc ") + __VERSION__;
+#else
+  p.compiler = "unknown";
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    p.hostname = host;
+  } else {
+    p.hostname = "unknown";
+  }
+#else
+  p.hostname = "unknown";
+#endif
+  const char* threads = std::getenv("RCS_THREADS");
+  p.rcs_threads = threads != nullptr ? threads : "";
+  return p;
+}
+
+void Provenance::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n"
+     << pad << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n"
+     << pad << "  \"compiler\": \"" << json_escape(compiler) << "\",\n"
+     << pad << "  \"build_type\": \"" << json_escape(build_type) << "\",\n"
+     << pad << "  \"hostname\": \"" << json_escape(hostname) << "\",\n"
+     << pad << "  \"rcs_threads\": \"" << json_escape(rcs_threads) << "\"\n"
+     << pad << "}";
+}
+
+}  // namespace rcs::obs

@@ -1,0 +1,26 @@
+#pragma once
+// Build/run provenance stamped into benchmark artifacts (BENCH_perf.json)
+// so points on the perf trajectory are comparable: a regression is only a
+// regression if the compiler, build type, and machine match.
+
+#include <iosfwd>
+#include <string>
+
+namespace rcs::obs {
+
+struct Provenance {
+  std::string git_sha;      // configure-time git rev (RCS_GIT_SHA define)
+  std::string compiler;     // "gcc 13.2.0" / "clang 17.0.1 ..."
+  std::string build_type;   // CMAKE_BUILD_TYPE of this binary
+  std::string hostname;     // gethostname()
+  std::string rcs_threads;  // $RCS_THREADS as seen at collect() ("" = unset)
+
+  /// Gather all fields for the running process.
+  static Provenance collect();
+
+  /// JSON object. The opening brace lands where the stream already is (so
+  /// the object can follow a key); continuation lines get `indent` spaces.
+  void write_json(std::ostream& os, int indent = 0) const;
+};
+
+}  // namespace rcs::obs

@@ -1,0 +1,214 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace rcs::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* cat;
+  std::int64_t t0_ns;
+  std::int64_t t1_ns;
+};
+
+struct ThreadBuffer {
+  int tid = 0;
+  std::string lane;
+  std::vector<Event> events;
+};
+
+/// All lanes ever created. Buffers are shared_ptr so a lane outlives its
+/// thread (the exporter reads after threads exit; MiniMPI spawns fresh
+/// threads per run).
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives atexit writer
+  return *s;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = s.next_tid++;
+    b->lane = "thread " + std::to_string(b->tid);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::atomic<bool> g_trace_enabled{false};
+
+void write_trace_at_exit() {
+  const char* env = std::getenv("RCS_TRACE");
+  if (env == nullptr || env[0] == '\0') return;
+  if (!write_chrome_trace_file(env)) {
+    std::fprintf(stderr, "[rcs obs] cannot write RCS_TRACE file %s\n", env);
+  }
+}
+
+bool init_from_env() {
+  state();  // construct (leaked) storage before registering the atexit hook
+  const char* env = std::getenv("RCS_TRACE");
+  const bool on = env != nullptr && env[0] != '\0';
+  if (on) std::atexit(write_trace_at_exit);
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+  return on;
+}
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t epoch_ns() {
+  static const std::int64_t epoch = steady_ns();
+  return epoch;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  static const bool init = init_from_env();
+  (void)init;
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  (void)trace_enabled();  // force env init so the flag is not overwritten
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t trace_now_ns() { return steady_ns() - epoch_ns(); }
+
+void set_thread_lane(const std::string& name) {
+  this_thread_buffer().lane = name;
+}
+
+void record_span(const char* name, const char* category, std::int64_t t0_ns,
+                 std::int64_t t1_ns) {
+  if (!trace_enabled()) return;
+  this_thread_buffer().events.push_back(Event{name, category, t0_ns, t1_ns});
+}
+
+PhaseSpan::PhaseSpan(const char* category, const char* name)
+    : name_(name), cat_(category) {
+  trace_ = trace_enabled();
+  if (metrics_enabled()) {
+    wall_ns_ = &Registry::global().counter(std::string(category) + ".wall." +
+                                          name + "_ns");
+  }
+  if (trace_ || wall_ns_ != nullptr) t0_ = trace_now_ns();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (!trace_ && wall_ns_ == nullptr) return;
+  const std::int64_t t1 = trace_now_ns();
+  if (trace_) record_span(name_, cat_, t0_, t1);
+  if (wall_ns_ != nullptr && t1 > t0_) {
+    wall_ns_->add(static_cast<std::uint64_t>(t1 - t0_));
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  char buf[256];
+  for (const auto& b : buffers) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+                  b->tid, json_escape(b->lane).c_str());
+    os << buf;
+  }
+  for (const auto& b : buffers) {
+    for (const Event& e : b->events) {
+      sep();
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+          json_escape(e.name).c_str(), json_escape(e.cat).c_str(),
+          static_cast<double>(e.t0_ns) / 1e3,
+          static_cast<double>(e.t1_ns - e.t0_ns) / 1e3, b->tid);
+      os << buf;
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return true;
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& b : s.buffers) b->events.clear();
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (const auto& b : s.buffers) n += b->events.size();
+  return n;
+}
+
+}  // namespace rcs::obs

@@ -4,8 +4,28 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace rcs::sim {
+
+namespace {
+
+/// RFC-4180 field quoting: wrap in double quotes when the field contains a
+/// comma, quote, or line break; embedded quotes double.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
 
 void TraceRecorder::add(std::string resource, SimTime start, SimTime end,
                         std::string label) {
@@ -46,9 +66,42 @@ void TraceRecorder::write_csv(std::ostream& os) const {
                    });
   os << "resource,start,end,label\n";
   for (const TraceSpan* s : order) {
-    os << s->resource << ',' << s->start << ',' << s->end << ',' << s->label
-       << '\n';
+    os << csv_field(s->resource) << ',' << s->start << ',' << s->end << ','
+       << csv_field(s->label) << '\n';
   }
+}
+
+std::map<std::string, SimTime> TraceRecorder::busy_by_label() const {
+  std::map<std::string, SimTime> busy;
+  for (const auto& s : spans_) busy[s.label] += s.end - s.start;
+  return busy;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  // Stable lane numbering: resources in sorted order.
+  std::map<std::string, int> lanes;
+  for (const auto& s : spans_) lanes.emplace(s.resource, 0);
+  int next = 1;
+  for (auto& [res, tid] : lanes) tid = next++;
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& [res, tid] : lanes) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << tid << ", \"args\": {\"name\": \"" << obs::json_escape(res)
+       << "\"}}";
+  }
+  for (const auto& s : spans_) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\": \"" << obs::json_escape(s.label)
+       << "\", \"cat\": \"sim\", \"ph\": \"X\", \"ts\": " << s.start * 1e6
+       << ", \"dur\": " << (s.end - s.start) * 1e6
+       << ", \"pid\": 1, \"tid\": " << lanes[s.resource] << '}';
+  }
+  os << "\n]}\n";
 }
 
 }  // namespace rcs::sim

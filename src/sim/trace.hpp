@@ -43,11 +43,21 @@ class TraceRecorder {
   /// Total busy time per resource.
   std::map<std::string, SimTime> busy_by_resource() const;
 
+  /// Total busy time per span label (summed across resources) — the
+  /// "simulated" column of the drift reports.
+  std::map<std::string, SimTime> busy_by_label() const;
+
   /// Utilization per resource over [0, horizon].
   std::map<std::string, double> utilization(SimTime horizon) const;
 
   /// CSV: resource,start,end,label — one row per span, sorted by start.
+  /// Fields containing commas, quotes, or newlines are RFC-4180 quoted.
   void write_csv(std::ostream& os) const;
+
+  /// Chrome trace-event JSON over *simulated* time (1 simulated µs = 1 trace
+  /// µs), one lane per resource — the same format the wall-clock tracer
+  /// emits, so Perfetto can show both planes side by side.
+  void write_chrome_json(std::ostream& os) const;
 
  private:
   bool enabled_;

@@ -1,0 +1,82 @@
+// Tests for the leveled logger: RCS_LOG_LEVEL parsing, enabled() gating,
+// and set_level round-trips.
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace rcs {
+namespace {
+
+using log::Level;
+
+TEST(LogParse, AllLevelNames) {
+  EXPECT_EQ(log::parse_level("trace"), Level::Trace);
+  EXPECT_EQ(log::parse_level("debug"), Level::Debug);
+  EXPECT_EQ(log::parse_level("info"), Level::Info);
+  EXPECT_EQ(log::parse_level("warn"), Level::Warn);
+  EXPECT_EQ(log::parse_level("error"), Level::Error);
+  EXPECT_EQ(log::parse_level("off"), Level::Off);
+}
+
+TEST(LogParse, GarbageFallsBack) {
+  EXPECT_EQ(log::parse_level(nullptr), Level::Warn);
+  EXPECT_EQ(log::parse_level(""), Level::Warn);
+  EXPECT_EQ(log::parse_level("verbose"), Level::Warn);
+  EXPECT_EQ(log::parse_level("WARN"), Level::Warn);   // case-sensitive
+  EXPECT_EQ(log::parse_level("Trace"), Level::Warn);
+  EXPECT_EQ(log::parse_level("trace "), Level::Warn);  // no trimming
+  EXPECT_EQ(log::parse_level("2"), Level::Warn);
+}
+
+TEST(LogParse, ExplicitFallback) {
+  EXPECT_EQ(log::parse_level(nullptr, Level::Error), Level::Error);
+  EXPECT_EQ(log::parse_level("bogus", Level::Off), Level::Off);
+  EXPECT_EQ(log::parse_level("debug", Level::Off), Level::Debug);
+}
+
+TEST(LogLevel, SetLevelRoundTrip) {
+  const Level saved = log::level();
+  for (Level lvl : {Level::Trace, Level::Debug, Level::Info, Level::Warn,
+                    Level::Error, Level::Off}) {
+    log::set_level(lvl);
+    EXPECT_EQ(log::level(), lvl);
+  }
+  log::set_level(saved);
+}
+
+TEST(LogLevel, EnabledGatesAtOrAboveThreshold) {
+  const Level saved = log::level();
+
+  log::set_level(Level::Warn);
+  EXPECT_FALSE(log::enabled(Level::Trace));
+  EXPECT_FALSE(log::enabled(Level::Debug));
+  EXPECT_FALSE(log::enabled(Level::Info));
+  EXPECT_TRUE(log::enabled(Level::Warn));
+  EXPECT_TRUE(log::enabled(Level::Error));
+
+  log::set_level(Level::Trace);
+  EXPECT_TRUE(log::enabled(Level::Trace));
+  EXPECT_TRUE(log::enabled(Level::Error));
+
+  log::set_level(Level::Off);
+  EXPECT_FALSE(log::enabled(Level::Error));
+  // Only Level::Off itself clears the Off threshold; RCS_LOG never emits
+  // at Off, so everything is silenced.
+  EXPECT_TRUE(log::enabled(Level::Off));
+
+  log::set_level(saved);
+}
+
+TEST(LogMacro, SuppressedMessageDoesNotEvaluateStream) {
+  const Level saved = log::level();
+  log::set_level(Level::Off);
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  RCS_LOG(Error) << "never emitted " << count();
+  EXPECT_EQ(evaluations, 0);
+  log::set_level(saved);
+}
+
+}  // namespace
+}  // namespace rcs

@@ -27,6 +27,7 @@
 #include "graph/generate.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/generate.hpp"
+#include "lookahead_sweep.hpp"
 #include "obs/provenance.hpp"
 
 namespace la = rcs::linalg;
@@ -134,7 +135,11 @@ Row bench_fw_functional(long long n, long long b, int threads) {
 
 void write_json(const std::vector<Row>& rows,
                 const core::DriftReport& lu_drift,
-                const core::DriftReport& fw_drift, const std::string& path) {
+                const core::DriftReport& fw_drift,
+                const core::DriftReport& lu_drift_la,
+                const core::DriftReport& fw_drift_la,
+                const std::vector<rcs::bench::LookaheadPoint>& lookahead,
+                const std::string& path) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"provenance\": ";
@@ -151,10 +156,41 @@ void write_json(const std::vector<Row>& rows,
     out << buf;
   }
   out << "  ],\n";
+  out << "  \"lookahead\": [\n";
+  for (std::size_t i = 0; i < lookahead.size(); ++i) {
+    const rcs::bench::LookaheadPoint& pt = lookahead[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"design\": \"%s\", \"n\": %lld, \"b\": %lld, \"p\": %d, "
+        "\"predicted_latency_s\": %.9g, \"blocking_sim_s\": %.9g, "
+        "\"lookahead_sim_s\": %.9g, \"sim_speedup\": %.4f, "
+        "\"gap_closure\": %.4f, \"blocking_wall_s\": %.6f, "
+        "\"lookahead_wall_s\": %.6f, \"bit_identical\": %s, "
+        "\"overlap_efficiency\": {",
+        pt.design.c_str(), pt.n, pt.b, pt.p, pt.predicted_latency_s,
+        pt.blocking_sim_s, pt.lookahead_sim_s, pt.sim_speedup(),
+        pt.gap_closure(), pt.blocking_wall_s, pt.lookahead_wall_s,
+        pt.bit_identical ? "true" : "false");
+    out << buf;
+    bool first = true;
+    for (const auto& [ph, eff] : pt.overlap_efficiency) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\": %.4f", first ? "" : ", ",
+                    ph.c_str(), eff);
+      out << buf;
+      first = false;
+    }
+    out << "}}" << (i + 1 < lookahead.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n";
   out << "  \"drift\": {\n    \"lu\": ";
   lu_drift.write_json(out, 4);
+  out << ",\n    \"lu_lookahead\": ";
+  lu_drift_la.write_json(out, 4);
   out << ",\n    \"fw\": ";
   fw_drift.write_json(out, 4);
+  out << ",\n    \"fw_lookahead\": ";
+  fw_drift_la.write_json(out, 4);
   out << "\n  }\n}\n";
 }
 
@@ -218,7 +254,10 @@ int main(int argc, char** argv) {
 
   // --- Drift reports: the paper's model vs the simulated schedule vs this
   // machine's wall clock, per phase, at the same mid-size design points.
-  core::DriftReport lu_drift, fw_drift;
+  // Both schedules are reported: the blocking run keeps the historic
+  // baseline comparable, the lookahead run shows the overlap efficiency and
+  // the shrunken simulated-vs-predicted gap.
+  core::DriftReport lu_drift, fw_drift, lu_drift_la, fw_drift_la;
   {
     core::SystemParams sys = core::SystemParams::cray_xd1();
     sys.p = 3;
@@ -228,6 +267,8 @@ int main(int argc, char** argv) {
     cfg.mode = core::DesignMode::Hybrid;
     const la::Matrix a = la::diagonally_dominant(256, 42);
     lu_drift = core::lu_drift_report(sys, cfg, a);
+    cfg.lookahead = true;
+    lu_drift_la = core::lu_drift_report(sys, cfg, a);
   }
   {
     core::SystemParams sys = core::SystemParams::cray_xd1();
@@ -238,11 +279,30 @@ int main(int argc, char** argv) {
     cfg.mode = core::DesignMode::Hybrid;
     const la::Matrix d0 = rcs::graph::random_digraph(256, 7, 0.4);
     fw_drift = core::fw_drift_report(sys, cfg, d0);
+    cfg.lookahead = true;
+    fw_drift_la = core::fw_drift_report(sys, cfg, d0);
   }
   lu_drift.print(std::cout);
+  lu_drift_la.print(std::cout);
   fw_drift.print(std::cout);
+  fw_drift_la.print(std::cout);
 
-  write_json(rows, lu_drift, fw_drift, path);
+  // --- Blocking-vs-lookahead ablation at the same design points (see
+  // bench/ablation_lookahead for the wider standalone sweep).
+  std::vector<rcs::bench::LookaheadPoint> lookahead;
+  lookahead.push_back(rcs::bench::lu_lookahead_point(256, 64, 3));
+  lookahead.push_back(rcs::bench::fw_lookahead_point(256, 32, 2));
+  for (const auto& pt : lookahead) {
+    std::printf(
+        "lookahead %-2s n=%-4lld p=%d: sim %.6f -> %.6f s (%.3fx, gap closure "
+        "%.1f%%), bit_identical=%s\n",
+        pt.design.c_str(), pt.n, pt.p, pt.blocking_sim_s, pt.lookahead_sim_s,
+        pt.sim_speedup(), 100.0 * pt.gap_closure(),
+        pt.bit_identical ? "yes" : "NO");
+  }
+
+  write_json(rows, lu_drift, fw_drift, lu_drift_la, fw_drift_la, lookahead,
+             path);
   std::cout << "wrote " << path << "\n";
   return 0;
 }

@@ -40,6 +40,18 @@ PhaseDrift make_phase(const std::string& name, double predicted,
   return d;
 }
 
+/// Copy the functional run's per-phase OverlapStats onto the matching
+/// PhaseDrift rows (phases that receive nothing keep their zeros).
+void attach_overlap(std::vector<PhaseDrift>& phases,
+                    const std::map<std::string, net::OverlapStats>& overlap) {
+  for (PhaseDrift& ph : phases) {
+    const auto it = overlap.find(ph.phase);
+    if (it == overlap.end()) continue;
+    ph.overlap_hidden_s = it->second.hidden_s;
+    ph.overlap_total_s = it->second.total_s;
+  }
+}
+
 }  // namespace
 
 double PhaseDrift::drift_measured() const {
@@ -50,6 +62,10 @@ double PhaseDrift::drift_measured() const {
 double PhaseDrift::drift_simulated() const {
   return predicted_s > 0.0 ? std::abs(simulated_s - predicted_s) / predicted_s
                            : 0.0;
+}
+
+double PhaseDrift::overlap_efficiency() const {
+  return overlap_total_s > 0.0 ? overlap_hidden_s / overlap_total_s : 0.0;
 }
 
 DriftReport lu_drift_report(const SystemParams& sys, const LuConfig& cfg,
@@ -81,6 +97,7 @@ DriftReport lu_drift_report(const SystemParams& sys, const LuConfig& cfg,
     rep.phases.push_back(make_phase(name, pred[name], sim_busy,
                                     before.at(name), after.at(name)));
   }
+  attach_overlap(rep.phases, res.overlap);
   if (res.run.seconds > 0.0) rep.utilization = rec.utilization(res.run.seconds);
   return rep;
 }
@@ -112,6 +129,7 @@ DriftReport fw_drift_report(const SystemParams& sys, const FwConfig& cfg,
     rep.phases.push_back(make_phase(name, pred.at(name), sim_busy,
                                     before.at(name), after.at(name)));
   }
+  attach_overlap(rep.phases, res.overlap);
   if (res.run.seconds > 0.0) rep.utilization = rec.utilization(res.run.seconds);
   return rep;
 }
@@ -134,7 +152,10 @@ void DriftReport::write_json(std::ostream& os, int indent) const {
        << ", \"simulated_s\": " << ph.simulated_s
        << ", \"measured_s\": " << ph.measured_s
        << ", \"drift_simulated\": " << ph.drift_simulated()
-       << ", \"drift_measured\": " << ph.drift_measured() << '}'
+       << ", \"drift_measured\": " << ph.drift_measured()
+       << ", \"overlap_hidden_s\": " << ph.overlap_hidden_s
+       << ", \"overlap_total_s\": " << ph.overlap_total_s
+       << ", \"overlap_efficiency\": " << ph.overlap_efficiency() << '}'
        << (i + 1 < phases.size() ? "," : "") << '\n';
   }
   os << pad << "  ],\n";
@@ -157,13 +178,19 @@ void DriftReport::print(std::ostream& os) const {
   os << "  " << std::left << std::setw(8) << "phase" << std::right
      << std::setw(14) << "predicted_s" << std::setw(14) << "simulated_s"
      << std::setw(14) << "measured_s" << std::setw(12) << "sim_drift"
-     << std::setw(12) << "meas_drift" << '\n';
+     << std::setw(12) << "meas_drift" << std::setw(10) << "overlap" << '\n';
   for (const PhaseDrift& ph : phases) {
     os << "  " << std::left << std::setw(8) << ph.phase << std::right
        << std::setw(14) << std::setprecision(4) << ph.predicted_s
        << std::setw(14) << ph.simulated_s << std::setw(14) << ph.measured_s
        << std::setw(11) << std::setprecision(2) << 100.0 * ph.drift_simulated()
-       << '%' << std::setw(11) << 100.0 * ph.drift_measured() << "%\n";
+       << '%' << std::setw(11) << 100.0 * ph.drift_measured() << '%';
+    if (ph.overlap_total_s > 0.0) {
+      os << std::setw(9) << 100.0 * ph.overlap_efficiency() << '%';
+    } else {
+      os << std::setw(10) << "-";
+    }
+    os << '\n';
   }
 }
 

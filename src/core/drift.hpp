@@ -34,11 +34,21 @@ struct PhaseDrift {
   double predicted_s = 0.0;  // model resource-seconds, summed over ranks
   double simulated_s = 0.0;  // virtual-clock busy time, summed over ranks
   double measured_s = 0.0;   // wall-clock, summed over threads
+  /// Transfer-overlap accounting for the receives this phase waits on
+  /// (simulated seconds, summed over ranks): `overlap_total_s` is the full
+  /// in-flight time of those transfers, `overlap_hidden_s` the part that
+  /// elapsed behind compute before the wait. Both stay 0 for phases that
+  /// receive nothing.
+  double overlap_hidden_s = 0.0;
+  double overlap_total_s = 0.0;
 
   /// |measured - predicted| / predicted (0 when nothing was predicted).
   double drift_measured() const;
   /// |simulated - predicted| / predicted.
   double drift_simulated() const;
+  /// Fraction of this phase's transfer time hidden behind compute
+  /// (0 when the phase receives nothing; lookahead pushes it toward 1).
+  double overlap_efficiency() const;
 };
 
 /// Whole-run drift report for one design point.

@@ -33,6 +33,14 @@ struct FwConfig {
   /// (ceil(log2 p) transfer times) instead of root-serialized (p-1) —
   /// an extension over the paper's scheme, matching net::Comm::bcast_tree.
   bool tree_bcast = false;
+  /// Lookahead comm/compute overlap (functional plane): the owner fans out
+  /// D_tt and the op22 pivot-column blocks over the NIC (isend) instead of
+  /// serializing them on its CPU, non-owners prefetch the next wave's
+  /// pivot block (and the next iteration's D_tt) through irecv while the
+  /// current op3 wave computes, and the per-iteration barrier is dropped.
+  /// Distances are byte-identical to the blocking schedule; only the
+  /// schedule (and therefore the clocks) moves.
+  bool lookahead = false;
 };
 
 /// Analytic run outcome.

@@ -34,6 +34,7 @@ struct RankStats {
   double fpga_flops = 0.0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t coordination = 0;
+  std::map<std::string, net::OverlapStats> overlap;
 };
 
 /// One block task of a wave: the functional kernel call plus its timing
@@ -159,6 +160,11 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
       tasks.clear();
     };
 
+    // Lookahead: the receive for iteration t+1's D_tt is posted while
+    // iteration t's waves still compute, so the next pivot block streams in
+    // behind the current trailing update.
+    net::Request dtt_req;
+
     for (long long t = 0; t < nb; ++t) {
       const int owner = static_cast<int>(t / cols_per_rank);
 
@@ -185,10 +191,29 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
         dtt = Matrix::from_view(lblk(t, t));
         for (int r = 0; r < p; ++r) {
           if (r == owner) continue;
-          net::send_matrix(comm, r, make_tag(Chan::Dtt, t, 0), dtt.view());
+          if (cfg.lookahead) {
+            // NIC fan-out: the owner's CPU pays setup only and moves on to
+            // its op21/op22 wave while the RapidArray engines serialize.
+            net::isend_matrix(comm, r, make_tag(Chan::Dtt, t, 0), dtt.view());
+          } else {
+            net::send_matrix(comm, r, make_tag(Chan::Dtt, t, 0), dtt.view());
+          }
         }
+      } else if (cfg.lookahead && dtt_req.valid()) {
+        dtt = net::wait_matrix(dtt_req);
       } else {
-        dtt = net::recv_matrix(comm, owner, make_tag(Chan::Dtt, t, 0));
+        dtt = net::recv_matrix(comm, owner, make_tag(Chan::Dtt, t, 0),
+                               "op21");
+      }
+      // Prefetch the next iteration's pivot diagonal: posting is free, and
+      // by the time this iteration's waves finish the block is usually
+      // already in flight (or delivered).
+      if (cfg.lookahead && t + 1 < nb) {
+        const int next_owner = static_cast<int>((t + 1) / cols_per_rank);
+        if (me != next_owner) {
+          dtt_req = comm.irecv(next_owner, make_tag(Chan::Dtt, t + 1, 0),
+                               "op21");
+        }
       }
 
       // Row order of the op3 waves: every q != t, ascending.
@@ -219,12 +244,23 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
             },
             "op21"});
       }
+      // Lookahead: post the receive for wave 0's pivot block before the
+      // op21 wave computes, so the owner's broadcast streams in behind it.
+      net::Request dqt_req;
+      if (cfg.lookahead && me != owner && !q_list.empty()) {
+        dqt_req = comm.irecv(owner, make_tag(Chan::Op22, t, 0), "op3");
+      }
       run_wave(tasks);
       if (me == owner && !q_list.empty()) {
         for (int r = 0; r < p; ++r) {
           if (r == owner) continue;
-          net::send_matrix(comm, r, make_tag(Chan::Op22, t, 0),
-                           lblk(q_list.front(), t));
+          if (cfg.lookahead) {
+            net::isend_matrix(comm, r, make_tag(Chan::Op22, t, 0),
+                              lblk(q_list.front(), t));
+          } else {
+            net::send_matrix(comm, r, make_tag(Chan::Op22, t, 0),
+                             lblk(q_list.front(), t));
+          }
         }
       }
 
@@ -235,10 +271,21 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
         Matrix dqt;
         if (me == owner) {
           dqt = Matrix::from_view(lblk(q, t));
+        } else if (cfg.lookahead) {
+          dqt = net::wait_matrix(dqt_req);
+          // Double-buffer: wave w+1's pivot block transfers while wave w's
+          // op3 tasks compute below.
+          if (w + 1 < q_list.size()) {
+            dqt_req = comm.irecv(owner,
+                                 make_tag(Chan::Op22, t,
+                                          static_cast<long long>(w + 1)),
+                                 "op3");
+          }
         } else {
           dqt = net::recv_matrix(comm, owner,
                                  make_tag(Chan::Op22, t,
-                                          static_cast<long long>(w)));
+                                          static_cast<long long>(w)),
+                                 "op3");
         }
         if (me == owner && w + 1 < q_list.size()) {
           const long long qn = q_list[w + 1];
@@ -267,14 +314,24 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
         if (me == owner && w + 1 < q_list.size()) {
           for (int r = 0; r < p; ++r) {
             if (r == owner) continue;
-            net::send_matrix(comm, r,
-                             make_tag(Chan::Op22, t,
-                                      static_cast<long long>(w + 1)),
-                             lblk(q_list[w + 1], t));
+            if (cfg.lookahead) {
+              net::isend_matrix(comm, r,
+                                make_tag(Chan::Op22, t,
+                                         static_cast<long long>(w + 1)),
+                                lblk(q_list[w + 1], t));
+            } else {
+              net::send_matrix(comm, r,
+                               make_tag(Chan::Op22, t,
+                                        static_cast<long long>(w + 1)),
+                               lblk(q_list[w + 1], t));
+            }
           }
         }
       }
-      comm.barrier();
+      // The barrier only serializes the blocking schedule; under lookahead
+      // the iteration-t tags keep cross-iteration messages apart and each
+      // rank's own data dependencies order its work.
+      if (!cfg.lookahead) comm.barrier();
     }
 
     RankStats& st = stats[static_cast<std::size_t>(me)];
@@ -285,6 +342,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     st.fpga_flops = node.fpga_flops_total();
     st.bytes_sent = comm.bytes_sent();
     st.coordination = node.coordination_events();
+    st.overlap = comm.overlap_stats();
 
     // Untimed gather of the block-columns at rank 0.
     obs::PhaseSpan phase("fw", "gather");
@@ -309,7 +367,8 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
   FwFunctionalResult res;
   res.distances = std::move(distances);
   res.partition = part;
-  res.run.design = std::string("FW/") + to_string(cfg.mode) + "/functional";
+  res.run.design = std::string("FW/") + to_string(cfg.mode) + "/functional" +
+                   (cfg.lookahead ? "+lookahead" : "");
   for (const RankStats& st : stats) {
     res.run.seconds = std::max(res.run.seconds, st.finish);
     res.run.cpu_busy_seconds += st.cpu_busy;
@@ -318,6 +377,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     res.run.fpga_flops += st.fpga_flops;
     res.run.bytes_on_network += st.bytes_sent;
     res.run.coordination_events += st.coordination;
+    for (const auto& [ph, os] : st.overlap) res.overlap[ph] += os;
   }
   res.run.total_flops = res.run.cpu_flops + res.run.fpga_flops;
   return res;

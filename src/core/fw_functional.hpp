@@ -6,6 +6,9 @@
 // blocks move over MiniMPI; the result is bit-identical to the sequential
 // graph::blocked_floyd_warshall (and therefore to the textbook algorithm).
 
+#include <map>
+#include <string>
+
 #include "core/fw_analytic.hpp"
 #include "linalg/matrix.hpp"
 
@@ -16,6 +19,11 @@ struct FwFunctionalResult {
   linalg::Matrix distances;  // all-pairs shortest paths, gathered at rank 0
   RunReport run;
   FwPartition partition;  // the (l1, l2) split in effect
+  /// Per-phase transfer-overlap accounting summed over ranks ("op21" covers
+  /// the D_tt broadcast receives, "op3" the per-wave pivot-block
+  /// receives). Populated in both schedules; the lookahead pipeline pushes
+  /// the hidden fraction (OverlapStats::efficiency) toward 1.
+  std::map<std::string, net::OverlapStats> overlap;
 };
 
 /// Run the configured design on a real distance matrix over MiniMPI.

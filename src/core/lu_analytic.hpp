@@ -36,11 +36,16 @@ struct LuConfig {
   /// Simulate only the first `max_iterations` block iterations (-1 = all);
   /// Fig. 6 uses 1.
   int max_iterations = -1;
-  /// Panel lookahead (analytic plane only): let iteration t+1's panel
-  /// factorization start as soon as its diagonal block's update lands,
-  /// instead of barriering on the whole trailing update. The paper's
-  /// implementation could not do this ("we used the atomic ACML routines",
-  /// §6.2) — this switch quantifies what that cost.
+  /// Lookahead comm/compute overlap. Analytic plane: let iteration t+1's
+  /// panel factorization start as soon as its diagonal block's update
+  /// lands, instead of barriering on the whole trailing update. Functional
+  /// plane: run the real lookahead pipeline — workers double-buffer the
+  /// next task's C/D stripes through irecv, return E shares over the NIC
+  /// (isend), prefetch the opMS share receives, and skip the per-iteration
+  /// barrier. The factors are byte-identical to the blocking schedule in
+  /// either plane; only the schedule (and therefore the clocks) moves. The
+  /// paper's implementation could not do this ("we used the atomic ACML
+  /// routines", §6.2) — this switch quantifies what that cost.
   bool lookahead = false;
 };
 

@@ -68,6 +68,7 @@ struct RankStats {
   double fpga_flops = 0.0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t coordination = 0;
+  std::map<std::string, net::OverlapStats> overlap;
 };
 
 }  // namespace
@@ -166,7 +167,9 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
         long long ready = 0;
         // PaperSingle fan-out rides the RapidArray DMA engines (isend): the
         // panel CPU pays only setup; SerialAll serializes on the CPU (§4.3).
-        const bool dma = cfg.fanout == SendFanout::PaperSingle;
+        // The lookahead pipeline always uses the DMA engines — hiding the
+        // stripe transfers is its whole point.
+        const bool dma = cfg.fanout == SendFanout::PaperSingle || cfg.lookahead;
         auto serve = [&](long long count) {
           for (long long s = 0; s < count && served < ready; ++s, ++served) {
             const auto [u, v] = order[static_cast<std::size_t>(served)];
@@ -209,12 +212,34 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
         int widx = me < panel ? me : me - 1;  // index among the p-1 workers
         const auto [c0, c1] = worker_columns(b, workers, widx);
         const long long cw = c1 - c0;
+        // Lookahead: double-buffer the stripe stream — task j+1's C/D
+        // receives are posted before task j's opMM runs, so the panel's
+        // transfers land behind the trailing update instead of in front of
+        // it. The blocking schedule receives in place (and still records
+        // overlap, for the blocking-vs-lookahead comparison).
+        net::Request c_req, d_req;
+        if (cfg.lookahead && total > 0) {
+          c_req = comm.irecv(panel, make_tag(Chan::CStripe, t, 0), "opMM");
+          d_req = comm.irecv(panel, make_tag(Chan::DStripe, t, 0), "opMM");
+        }
         for (long long j = 0; j < total; ++j) {
           const auto [u, v] = order[static_cast<std::size_t>(j)];
-          Matrix c = net::recv_matrix(comm, panel,
-                                      make_tag(Chan::CStripe, t, j));
-          Matrix d = net::recv_matrix(comm, panel,
-                                      make_tag(Chan::DStripe, t, j));
+          Matrix c, d;
+          if (cfg.lookahead) {
+            c = net::wait_matrix(c_req);
+            d = net::wait_matrix(d_req);
+            if (j + 1 < total) {
+              c_req =
+                  comm.irecv(panel, make_tag(Chan::CStripe, t, j + 1), "opMM");
+              d_req =
+                  comm.irecv(panel, make_tag(Chan::DStripe, t, j + 1), "opMM");
+            }
+          } else {
+            c = net::recv_matrix(comm, panel, make_tag(Chan::CStripe, t, j),
+                                 "opMM");
+            d = net::recv_matrix(comm, panel, make_tag(Chan::DStripe, t, j),
+                                 "opMM");
+          }
           Matrix e(b, cw);
           auto dshare = d.block(0, c0, b, cw);
 
@@ -263,6 +288,11 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
             linalg::matrix_sub(blk(u, v).block(0, c0, b, cw), e.view());
             node.cpu_compute(node::CpuKernel::MemBound,
                              static_cast<double>(b * cw), "opMS");
+          } else if (cfg.lookahead) {
+            // The E share rides the worker's NIC so its CPU moves straight
+            // on to the next task's opMM.
+            net::isend_matrix(comm, dst, make_tag(Chan::EShare, t, j),
+                              e.view());
           } else {
             net::send_matrix(comm, dst, make_tag(Chan::EShare, t, j),
                              e.view());
@@ -272,6 +302,16 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
 
       // --- opMS: every rank applies the updates for the blocks it owns
       // (its own worker share, if any, was already applied in place).
+      // Deterministic (j, r) order in both schedules; lookahead posts every
+      // expected receive up front so later shares stream in while earlier
+      // ones are applied.
+      struct EShare {
+        long long j;
+        int r;
+        long long c0, c1;
+        net::Request req;
+      };
+      std::vector<EShare> shares;
       for (long long j = 0; j < total; ++j) {
         const auto [u, v] = order[static_cast<std::size_t>(j)];
         if (owner_of(u, v, p) != me) continue;
@@ -279,14 +319,31 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
           if (r == panel || r == me) continue;
           const int widx = r < panel ? r : r - 1;
           const auto [c0, c1] = worker_columns(b, workers, widx);
-          Matrix e = net::recv_matrix(comm, r, make_tag(Chan::EShare, t, j));
-          obs::PhaseSpan phase("lu", "opMS");
-          linalg::matrix_sub(blk(u, v).block(0, c0, b, c1 - c0), e.view());
-          node.cpu_compute(node::CpuKernel::MemBound,
-                           static_cast<double>(b * (c1 - c0)), "opMS");
+          shares.push_back(EShare{j, r, c0, c1, net::Request()});
         }
       }
-      comm.barrier();
+      if (cfg.lookahead) {
+        for (EShare& s : shares) {
+          s.req = comm.irecv(s.r, make_tag(Chan::EShare, t, s.j), "opMS");
+        }
+      }
+      for (EShare& s : shares) {
+        const auto [u, v] = order[static_cast<std::size_t>(s.j)];
+        Matrix e = cfg.lookahead
+                       ? net::wait_matrix(s.req)
+                       : net::recv_matrix(
+                             comm, s.r, make_tag(Chan::EShare, t, s.j),
+                             "opMS");
+        obs::PhaseSpan phase("lu", "opMS");
+        linalg::matrix_sub(blk(u, v).block(0, s.c0, b, s.c1 - s.c0),
+                           e.view());
+        node.cpu_compute(node::CpuKernel::MemBound,
+                         static_cast<double>(b * (s.c1 - s.c0)), "opMS");
+      }
+      // Lookahead drops the per-iteration barrier: message tags carry the
+      // iteration, so ranks are free to run ahead into t+1 as soon as their
+      // own opMS updates have landed.
+      if (!cfg.lookahead) comm.barrier();
     }
 
     // Record simulated stats before the (untimed) gather.
@@ -298,6 +355,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
     st.fpga_flops = node.fpga_flops_total();
     st.bytes_sent = comm.bytes_sent();
     st.coordination = node.coordination_events();
+    st.overlap = comm.overlap_stats();
 
     // Gather the factored blocks at rank 0.
     obs::PhaseSpan phase("lu", "gather");
@@ -331,7 +389,8 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
   res.factored = std::move(factored);
   res.partition = part;
   res.l = l;
-  res.run.design = std::string("LU/") + to_string(cfg.mode) + "/functional";
+  res.run.design = std::string("LU/") + to_string(cfg.mode) + "/functional" +
+                   (cfg.lookahead ? "+lookahead" : "");
   for (const RankStats& st : stats) {
     res.run.seconds = std::max(res.run.seconds, st.finish);
     res.run.cpu_busy_seconds += st.cpu_busy;
@@ -340,6 +399,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
     res.run.fpga_flops += st.fpga_flops;
     res.run.bytes_on_network += st.bytes_sent;
     res.run.coordination_events += st.coordination;
+    for (const auto& [ph, os] : st.overlap) res.overlap[ph] += os;
   }
   res.run.total_flops = res.run.cpu_flops + res.run.fpga_flops;
   return res;

@@ -13,6 +13,9 @@
 // text says "P_t'' where t'' = max{u, v}", which contradicts its own initial
 // distribution; we follow the distribution.)
 
+#include <map>
+#include <string>
+
 #include "core/lu_analytic.hpp"
 #include "linalg/matrix.hpp"
 
@@ -26,6 +29,11 @@ struct LuFunctionalResult {
   RunReport run;
   MmPartition partition;
   int l = 0;  // interleave depth in effect
+  /// Per-phase transfer-overlap accounting summed over ranks ("opMM" covers
+  /// the C/D stripe receives, "opMS" the E-share returns). Populated in
+  /// both schedules; the lookahead pipeline exists to push the hidden
+  /// fraction (OverlapStats::efficiency) toward 1.
+  std::map<std::string, net::OverlapStats> overlap;
 };
 
 /// Run the configured LU design on real data over MiniMPI.

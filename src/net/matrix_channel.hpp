@@ -68,9 +68,24 @@ inline linalg::Matrix decode_matrix(const Message& msg) {
   return m;
 }
 
-/// Blocking receive of a matrix from `src` with `tag`.
-inline linalg::Matrix recv_matrix(Comm& comm, int src, int tag) {
-  return decode_matrix(comm.recv(src, tag));
+/// Blocking receive of a matrix from `src` with `tag`. `overlap_phase`
+/// labels the transfer for Comm::overlap_stats (see minimpi.hpp).
+inline linalg::Matrix recv_matrix(Comm& comm, int src, int tag,
+                                  const char* overlap_phase = nullptr) {
+  return decode_matrix(comm.recv(src, tag, overlap_phase));
+}
+
+/// Nonblocking receive of a matrix: post with irecv_matrix, resolve with
+/// wait_matrix once the data is actually needed — the lookahead pipelines
+/// post the next block's receive before computing on the current one.
+inline Request irecv_matrix(Comm& comm, int src, int tag,
+                            const char* overlap_phase = nullptr) {
+  return comm.irecv(src, tag, overlap_phase);
+}
+
+/// Complete a posted matrix receive.
+inline linalg::Matrix wait_matrix(Request& req) {
+  return decode_matrix(req.wait());
 }
 
 /// Broadcast a matrix from `root`; every rank returns the matrix.

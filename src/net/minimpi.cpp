@@ -71,6 +71,7 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
+  msg.depart = depart;
   msg.arrival = clock_.now();
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
@@ -94,6 +95,7 @@ void Comm::isend_bytes(int dst, int tag, const void* data,
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
+  msg.depart = start;
   msg.arrival = nic_busy_until_;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
@@ -165,15 +167,61 @@ double Comm::reduce_sum(int root, int tag, double value) {
   return sum;
 }
 
-Message Comm::recv(int src, int tag) {
+Message Comm::complete_recv(int src, int tag, const char* overlap_phase) {
+  Message msg = world_->take(rank_, src, tag);
+  if (overlap_phase != nullptr) {
+    // Wire-time attribution: of the message's [depart, arrival] interval,
+    // the part already behind this rank's clock was hidden behind its own
+    // compute; the rest is a visible stall the lookahead failed to cover.
+    const SimTime total = std::max(0.0, msg.arrival - msg.depart);
+    const SimTime visible =
+        std::min(total, std::max(0.0, msg.arrival - clock_.now()));
+    OverlapStats& st = overlap_[overlap_phase];
+    st.total_s += total;
+    st.visible_s += visible;
+    st.hidden_s += total - visible;
+  }
+  clock_.advance_to(msg.arrival);
+  return msg;
+}
+
+Message Comm::recv(int src, int tag, const char* overlap_phase) {
   RCS_CHECK_MSG(src >= 0 && src < world_->size(), "recv from bad rank " << src);
   RCS_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
   // The span covers the blocking mailbox wait — idle time shows up in the
   // trace as long "recv" slices on the waiting rank's lane.
   obs::ScopedTimer span("recv", "net");
-  Message msg = world_->take(rank_, src, tag);
-  clock_.advance_to(msg.arrival);
-  return msg;
+  return complete_recv(src, tag, overlap_phase);
+}
+
+Request Comm::irecv(int src, int tag, const char* overlap_phase) {
+  RCS_CHECK_MSG(src >= 0 && src < world_->size(),
+                "irecv from bad rank " << src);
+  RCS_CHECK_MSG(src != rank_, "irecv from self (rank " << rank_ << ")");
+  // Posting is free on the simulated clock: the NIC/mailbox accepts the
+  // message whenever it arrives; only wait() synchronizes the timeline.
+  return Request(this, src, tag, overlap_phase);
+}
+
+bool Request::test() const {
+  RCS_CHECK_MSG(comm_ != nullptr, "test() on an empty or consumed Request");
+  return comm_->world_->poll(comm_->rank_, src_, tag_);
+}
+
+Message Request::wait() {
+  RCS_CHECK_MSG(comm_ != nullptr, "wait() on an empty or consumed Request");
+  Comm* comm = comm_;
+  comm_ = nullptr;
+  obs::ScopedTimer span("wait", "net");
+  return comm->complete_recv(src_, tag_, phase_);
+}
+
+void Comm::reset_for_run() {
+  clock_ = VirtualClock();
+  nic_busy_until_ = 0.0;
+  bytes_sent_ = 0;
+  sent_log_.clear();
+  overlap_.clear();
 }
 
 std::vector<std::byte> Comm::bcast(int root, int tag,
@@ -317,30 +365,89 @@ Message World::take(int dst, int src, int tag) {
       box.queue.erase(it);
       return msg;
     }
+    // Checked only after the queue search: a message that was delivered
+    // before the failure is still consumable; only a wait that would block
+    // forever on a dead peer aborts.
+    if (box.poisoned) {
+      throw WorldAborted("rank " + std::to_string(dst) +
+                         " aborted: a peer rank failed while this rank was "
+                         "waiting for src=" +
+                         std::to_string(src) + " tag=" + std::to_string(tag));
+    }
     box.cv.wait(lock);
   }
 }
 
+bool World::poll(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (box.poisoned) return true;  // wait() would throw, not block
+  return std::any_of(
+      box.queue.begin(), box.queue.end(),
+      [&](const Message& m) { return m.src == src && m.tag == tag; });
+}
+
+void World::poison_mailboxes() {
+  for (auto& box : mailboxes_) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->poisoned = true;
+    }
+    box->cv.notify_all();
+  }
+}
+
 void World::run(const std::function<void(Comm&)>& rank_main) {
+  if (ran_) {
+    // A World is reusable: wipe every per-run artifact (stale clocks, NIC
+    // horizons, byte counters, send logs, undelivered messages, poison
+    // flags) so the second run is indistinguishable from a fresh World.
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->queue.clear();
+      box->poisoned = false;
+    }
+    for (auto& c : comms_) c->reset_for_run();
+  }
+  ran_ = true;
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
   std::mutex err_mu;
   std::exception_ptr first_error;
+  bool first_is_abort = false;  // held error is a secondary WorldAborted
 
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &rank_main, &err_mu, &first_error] {
-      try {
-        // Each rank gets its own trace lane, so Perfetto shows per-rank
-        // timelines alongside the pool workers'.
-        if (obs::trace_enabled()) {
-          obs::set_thread_lane("rank " + std::to_string(r));
-        }
-        rank_main(*comms_[static_cast<std::size_t>(r)]);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
+    threads.emplace_back(
+        [this, r, &rank_main, &err_mu, &first_error, &first_is_abort] {
+          try {
+            // Each rank gets its own trace lane, so Perfetto shows per-rank
+            // timelines alongside the pool workers'.
+            if (obs::trace_enabled()) {
+              obs::set_thread_lane("rank " + std::to_string(r));
+            }
+            rank_main(*comms_[static_cast<std::size_t>(r)]);
+          } catch (const WorldAborted&) {
+            // Secondary failure induced by the poison below: keep it only
+            // until the original exception shows up.
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!first_error) {
+              first_error = std::current_exception();
+              first_is_abort = true;
+            }
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(err_mu);
+              if (!first_error || first_is_abort) {
+                first_error = std::current_exception();
+                first_is_abort = false;
+              }
+            }
+            // Wake every rank blocked on this (now dead) one so the whole
+            // run unwinds instead of hanging.
+            poison_mailboxes();
+          }
+        });
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);

@@ -24,9 +24,11 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -86,6 +88,7 @@ struct MessageEvent {
 struct Message {
   int src = -1;
   int tag = -1;
+  SimTime depart = 0.0;           // simulated time the transfer started
   SimTime arrival = 0.0;          // simulated time the payload is available
   std::vector<std::byte> payload;
 
@@ -110,6 +113,79 @@ struct Message {
 };
 
 class World;
+class Comm;
+
+/// Thrown out of blocked mailbox waits when another rank's main function
+/// failed: the World poisons every mailbox so no rank hangs forever waiting
+/// for a message its dead peer will never send. World::run swallows these
+/// secondary errors and rethrows the original rank exception.
+struct WorldAborted : Error {
+  explicit WorldAborted(const std::string& what) : Error(what) {}
+};
+
+/// Comm/transfer overlap accounting for one phase label: how much of the
+/// simulated transfer time of received messages was hidden behind the
+/// receiver's own compute (clock already past the wire interval when the
+/// wait resolved) versus visible as a stall.
+struct OverlapStats {
+  SimTime hidden_s = 0.0;   // transfer seconds overlapped with compute
+  SimTime visible_s = 0.0;  // transfer seconds the receiver stalled on
+  SimTime total_s = 0.0;    // total wire seconds of received messages
+
+  /// Fraction of transfer time hidden behind compute (0 when no transfers).
+  double efficiency() const { return total_s > 0.0 ? hidden_s / total_s : 0.0; }
+
+  OverlapStats& operator+=(const OverlapStats& o) {
+    hidden_s += o.hidden_s;
+    visible_s += o.visible_s;
+    total_s += o.total_s;
+    return *this;
+  }
+};
+
+/// Handle to a posted nonblocking receive (Comm::irecv). Move-only; exactly
+/// one wait() consumes the message. test() peeks the mailbox without
+/// consuming anything and without touching the simulated clock, so it is
+/// safe for opportunistic progress — but its answer depends on real thread
+/// interleaving, so charging different *clock* costs on its outcome would
+/// break simulated-time determinism (wait() never does).
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& o) noexcept { *this = std::move(o); }
+  Request& operator=(Request&& o) noexcept {
+    comm_ = o.comm_;
+    src_ = o.src_;
+    tag_ = o.tag_;
+    phase_ = o.phase_;
+    o.comm_ = nullptr;
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True while a wait() is still owed.
+  bool valid() const { return comm_ != nullptr; }
+
+  /// Non-blocking: has the matching message already been delivered (i.e.
+  /// would wait() return without blocking the thread)?
+  bool test() const;
+
+  /// Block (wall clock) until the message is available, advance the rank's
+  /// simulated clock to at least its arrival, and return it. Consumes the
+  /// request. Throws WorldAborted if a peer rank failed.
+  Message wait();
+
+ private:
+  friend class Comm;
+  Request(Comm* comm, int src, int tag, const char* phase)
+      : comm_(comm), src_(src), tag_(tag), phase_(phase) {}
+
+  Comm* comm_ = nullptr;
+  int src_ = -1;
+  int tag_ = -1;
+  const char* phase_ = nullptr;
+};
 
 /// A rank's handle to the world: MPI-flavoured operations plus the rank's
 /// virtual clock. One Comm per rank, used only from that rank's thread.
@@ -133,8 +209,21 @@ class Comm {
   SimTime nic_free_at() const { return nic_busy_until_; }
 
   /// Blocking receive from a specific source and tag. The clock advances to
-  /// at least the message's simulated arrival.
-  Message recv(int src, int tag);
+  /// at least the message's simulated arrival. When `overlap_phase` is
+  /// given, the message's wire time is attributed to that phase's
+  /// OverlapStats (hidden vs visible relative to this clock).
+  Message recv(int src, int tag, const char* overlap_phase = nullptr);
+
+  /// Post a nonblocking receive: returns immediately (no clock charge); the
+  /// returned Request's wait() completes the receive. Lookahead pipelines
+  /// post the next iteration's receives before computing on the current
+  /// one, so the transfer streams in behind the compute.
+  Request irecv(int src, int tag, const char* overlap_phase = nullptr);
+
+  /// Per-phase transfer-overlap accounting of every labelled receive so far.
+  const std::map<std::string, OverlapStats>& overlap_stats() const {
+    return overlap_;
+  }
 
   /// Convenience wrappers.
   void send_doubles(int dst, int tag, const double* data, std::size_t count) {
@@ -190,10 +279,18 @@ class Comm {
 
  private:
   friend class World;
+  friend class Request;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
   void log_message(int dst, std::uint64_t bytes, SimTime depart,
                    SimTime arrival);
+
+  /// Take the message, advance the clock, and attribute its wire time to
+  /// `overlap_phase` (shared by recv and Request::wait).
+  Message complete_recv(int src, int tag, const char* overlap_phase);
+
+  /// Restore construction-time state so a World can be run() again.
+  void reset_for_run();
 
   /// Telemetry: bump the global + per-rank message/byte counters (no-op
   /// when RCS_METRICS is off). Handles resolve lazily, once per Comm.
@@ -207,6 +304,7 @@ class Comm {
   obs::Counter* metric_msgs_ = nullptr;   // "net.rank<r>.msgs_sent"
   obs::Counter* metric_bytes_ = nullptr;  // "net.rank<r>.bytes_sent"
   std::vector<MessageEvent> sent_log_;  // only filled when logging enabled
+  std::map<std::string, OverlapStats> overlap_;  // labelled receives only
 };
 
 /// The set of ranks plus their mailboxes. Construct with the node count and
@@ -223,8 +321,14 @@ class World {
   const NetworkParams& network() const { return net_; }
 
   /// Launch `size` threads, each executing rank_main with its Comm, and join
-  /// them all. Rethrows the first rank exception after joining. The Comms
-  /// (and their clocks / byte counters) remain inspectable afterwards.
+  /// them all. Rethrows the first rank exception after joining; when one
+  /// rank fails, every mailbox is poisoned so peers blocked in recv/wait/
+  /// barrier wake with WorldAborted instead of hanging (those secondary
+  /// aborts are swallowed — the original exception is what propagates).
+  /// The Comms (and their clocks / byte counters) remain inspectable
+  /// afterwards. Calling run() again first resets all per-run state
+  /// (clocks, NIC timelines, byte counters, send logs, undelivered
+  /// messages), so a World is reusable and each run starts from t = 0.
   void run(const std::function<void(Comm&)>& rank_main);
 
   /// Rank r's Comm — valid between construction and destruction; read its
@@ -245,19 +349,27 @@ class World {
 
  private:
   friend class Comm;
+  friend class Request;
 
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+    bool poisoned = false;  // a peer rank failed; waits must not block
   };
 
   void deliver(int dst, Message msg);
   Message take(int dst, int src, int tag);
+  bool poll(int dst, int src, int tag);
+
+  /// Wake every blocked take() with WorldAborted (called on first rank
+  /// failure so the surviving ranks cannot deadlock on a dead peer).
+  void poison_mailboxes();
 
   int size_;
   NetworkParams net_;
   bool log_messages_ = false;
+  bool ran_ = false;  // a run() completed; the next run() resets state
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Comm>> comms_;
 };

@@ -45,9 +45,11 @@ double Histogram::percentile(double p) const {
   if (n == 0) return 0.0;
   const double target = p / 100.0 * static_cast<double>(n);
   std::uint64_t seen = 0;
+  int last_nonempty = -1;
   for (int i = 0; i < kBuckets; ++i) {
     const std::uint64_t c = bucket_count(i);
     if (c == 0) continue;
+    last_nonempty = i;
     if (static_cast<double>(seen + c) >= target) {
       const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
       double hi = bucket_upper_bound(i);
@@ -58,7 +60,14 @@ double Histogram::percentile(double p) const {
     }
     seen += c;
   }
-  return bucket_upper_bound(kBuckets - 2);
+  // Fall-through (p > 100 or rounding past the last sample): clamp to the
+  // last non-empty bucket's upper bound instead of the histogram's global
+  // range, so the answer stays within the data actually recorded.
+  const double lo =
+      last_nonempty <= 0 ? 0.0 : std::ldexp(1.0, last_nonempty - 1);
+  double hi = bucket_upper_bound(last_nonempty);
+  if (std::isinf(hi)) hi = lo * 2.0;
+  return hi;
 }
 
 void Histogram::reset() {

@@ -77,4 +77,50 @@ TEST(Determinism, FwFunctionalInvariantAcrossThreadCounts) {
   common::ThreadPool::set_global_threads(1);
 }
 
+// The lookahead pipeline replaces barriers with tag-ordered message matching;
+// its simulated timings and overlap accounting must stay exactly reproducible
+// run-to-run and across pool sizes (§4.3 determinism invariant).
+TEST(Determinism, LookaheadScheduleIsReproducible) {
+  const la::Matrix a = la::diagonally_dominant(64, 1234);
+  core::LuConfig lu;
+  lu.n = 64;
+  lu.b = 16;
+  lu.mode = core::DesignMode::Hybrid;
+  lu.lookahead = true;
+
+  const la::Matrix d0 = gr::random_digraph(64, 4321, 0.4);
+  core::FwConfig fw;
+  fw.n = 64;
+  fw.b = 16;
+  fw.mode = core::DesignMode::Hybrid;
+  fw.lookahead = true;
+
+  common::ThreadPool::set_global_threads(1);
+  const auto lu_ref = core::lu_functional(xd1_p(3), lu, a);
+  const auto fw_ref = core::fw_functional(xd1_p(2), fw, d0);
+
+  for (int threads : {1, 7}) {
+    common::ThreadPool::set_global_threads(threads);
+    const auto lu_res = core::lu_functional(xd1_p(3), lu, a);
+    EXPECT_EQ(lu_res.run.seconds, lu_ref.run.seconds) << "threads=" << threads;
+    EXPECT_TRUE(la::bit_equal(lu_res.factored.view(), lu_ref.factored.view()))
+        << "threads=" << threads;
+    ASSERT_EQ(lu_res.overlap.size(), lu_ref.overlap.size());
+    for (const auto& [ph, os] : lu_ref.overlap) {
+      EXPECT_EQ(lu_res.overlap.at(ph).hidden_s, os.hidden_s) << ph;
+      EXPECT_EQ(lu_res.overlap.at(ph).total_s, os.total_s) << ph;
+    }
+
+    const auto fw_res = core::fw_functional(xd1_p(2), fw, d0);
+    EXPECT_EQ(fw_res.run.seconds, fw_ref.run.seconds) << "threads=" << threads;
+    EXPECT_TRUE(la::bit_equal(fw_res.distances.view(), fw_ref.distances.view()))
+        << "threads=" << threads;
+    for (const auto& [ph, os] : fw_ref.overlap) {
+      EXPECT_EQ(fw_res.overlap.at(ph).hidden_s, os.hidden_s) << ph;
+      EXPECT_EQ(fw_res.overlap.at(ph).total_s, os.total_s) << ph;
+    }
+  }
+  common::ThreadPool::set_global_threads(1);
+}
+
 }  // namespace

@@ -337,4 +337,230 @@ TEST(NetworkParams, TransferTime) {
   EXPECT_DOUBLE_EQ(np.transfer_time(2'000'000'000ull), 1.0 + 1e-6);
 }
 
+// --- Nonblocking receives -------------------------------------------------
+
+TEST(MiniMpiIrecv, DeliversAndAdvancesClock) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;  // 1 MB/s
+  np.latency_s = 0.0;
+  net::World world(2, np);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(125'000, 1.0);  // 1 MB -> 1 s on the wire
+      comm.send_doubles(1, 3, big.data(), big.size());
+    } else {
+      net::Request req = comm.irecv(0, 3);
+      ASSERT_TRUE(req.valid());
+      net::Message m = req.wait();
+      EXPECT_EQ(m.payload.size(), 1'000'000u);
+      EXPECT_NEAR(m.arrival, 1.0, 1e-9);
+      // The wait advanced the receiver to the arrival, like a blocking recv.
+      EXPECT_NEAR(comm.clock().now(), 1.0, 1e-9);
+      // The request is consumed.
+      EXPECT_FALSE(req.valid());
+    }
+  });
+}
+
+TEST(MiniMpiIrecv, OverlapAccountingHidesTransferBehindCompute) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;
+  np.latency_s = 0.0;
+  net::World world(2, np);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(125'000, 1.0);  // depart 0.0, arrival 1.0
+      comm.send_doubles(1, 3, big.data(), big.size());
+    } else {
+      net::Request req = comm.irecv(0, 3, "phaseA");
+      comm.clock().advance(2.0);  // compute past the transfer's arrival
+      req.wait();
+      EXPECT_NEAR(comm.clock().now(), 2.0, 1e-9);  // nothing left to wait on
+      const auto& st = comm.overlap_stats().at("phaseA");
+      EXPECT_NEAR(st.total_s, 1.0, 1e-9);
+      EXPECT_NEAR(st.hidden_s, 1.0, 1e-9);
+      EXPECT_NEAR(st.visible_s, 0.0, 1e-9);
+      EXPECT_NEAR(st.efficiency(), 1.0, 1e-9);
+    }
+  });
+}
+
+TEST(MiniMpiIrecv, OverlapAccountingChargesEagerWaitAsVisible) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;
+  np.latency_s = 0.0;
+  net::World world(2, np);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> big(125'000, 1.0);
+      comm.send_doubles(1, 3, big.data(), big.size());
+    } else {
+      // Waiting immediately exposes the whole transfer.
+      comm.recv(0, 3, "phaseB");
+      const auto& st = comm.overlap_stats().at("phaseB");
+      EXPECT_NEAR(st.total_s, 1.0, 1e-9);
+      EXPECT_NEAR(st.visible_s, 1.0, 1e-9);
+      EXPECT_NEAR(st.efficiency(), 0.0, 1e-9);
+    }
+  });
+}
+
+TEST(MiniMpiIrecv, TestDoesNotConsumeMessage) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 7, 42);
+      comm.send_value(1, 8, 1);  // "go": guarantees tag 7 is delivered first
+    } else {
+      net::Request req = comm.irecv(0, 7);
+      comm.recv(0, 8);  // blocks until "go"; tag-7 message arrived before it
+      EXPECT_TRUE(req.test());
+      EXPECT_TRUE(req.test());  // polling is repeatable, nothing consumed
+      EXPECT_EQ(req.wait().as<int>(), 42);
+    }
+  });
+}
+
+// The lookahead schedules mix isend (NIC timeline) and send (CPU timeline)
+// toward the same destination. Matching is FIFO by delivery order, so an
+// isend posted first is received first even if a later CPU send's payload
+// "arrives" earlier on its own timeline — and the receiver's clock never
+// moves backwards across the two waits.
+TEST(MiniMpi, MixedIsendSendSameTagKeepsDeliveryOrder) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;
+  np.latency_s = 0.0;
+  net::World world(2, np);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> big(1'000'000);   // NIC: depart 0, arrival 1.0
+      std::vector<std::byte> small(1'000);     // CPU: depart 0, arrival 1e-3
+      comm.isend_bytes(1, 5, big.data(), big.size());
+      comm.send_bytes(1, 5, small.data(), small.size());
+      EXPECT_NEAR(comm.clock().now(), 1e-3, 1e-9);  // CPU paid only the send
+      EXPECT_NEAR(comm.nic_free_at(), 1.0, 1e-9);
+    } else {
+      net::Message first = comm.recv(0, 5);
+      net::Message second = comm.recv(0, 5);
+      EXPECT_EQ(first.payload.size(), 1'000'000u);
+      EXPECT_NEAR(first.arrival, 1.0, 1e-9);
+      EXPECT_EQ(second.payload.size(), 1'000u);
+      EXPECT_NEAR(second.arrival, 1e-3, 1e-9);
+      // Clock gated on the slow NIC transfer, then held (never backwards).
+      EXPECT_NEAR(comm.clock().now(), 1.0, 1e-9);
+    }
+  });
+}
+
+TEST(MiniMpi, TreeBcastStaggersArrivalsNonPowerOfTwo) {
+  net::NetworkParams np;
+  np.bytes_per_s = 1e6;  // 1 MB payload -> 1 s per hop
+  np.latency_s = 0.0;
+  const std::size_t bytes = 1'000'000;
+  // Binomial tree, root 0, p = 6: rank 4 hears at 1.0 and relays to 5
+  // (arrival 2.0); rank 2 hears at 2.0 and relays to 3 (3.0); rank 1 hears
+  // last at 3.0. Final clocks include each rank's own forwarding sends.
+  std::vector<double> finish(6, -1.0);
+  net::World world(6, np);
+  world.run([&](net::Comm& comm) {
+    std::vector<std::byte> payload;
+    if (comm.rank() == 0) payload.resize(bytes);
+    payload = comm.bcast_tree(0, 1, std::move(payload));
+    EXPECT_EQ(payload.size(), bytes);
+    finish[static_cast<std::size_t>(comm.rank())] = comm.clock().now();
+  });
+  const double expected[6] = {3.0, 3.0, 3.0, 3.0, 2.0, 2.0};
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_NEAR(finish[static_cast<std::size_t>(r)], expected[r], 1e-9)
+        << "rank " << r;
+  }
+  EXPECT_NEAR(world.makespan(), 3.0, 1e-9);  // ceil(log2 6) rounds
+
+  // p = 3: root serializes children 2 then 1; rank 2 has no one to relay to.
+  std::vector<double> finish3(3, -1.0);
+  net::World world3(3, np);
+  world3.run([&](net::Comm& comm) {
+    std::vector<std::byte> payload;
+    if (comm.rank() == 0) payload.resize(bytes);
+    payload = comm.bcast_tree(0, 1, std::move(payload));
+    finish3[static_cast<std::size_t>(comm.rank())] = comm.clock().now();
+  });
+  EXPECT_NEAR(finish3[0], 2.0, 1e-9);
+  EXPECT_NEAR(finish3[1], 2.0, 1e-9);
+  EXPECT_NEAR(finish3[2], 1.0, 1e-9);
+}
+
+// --- Failure propagation and world reuse ----------------------------------
+
+// Regression: a throwing rank used to leave peers blocked in take() forever
+// (World::run joined all threads before rethrowing). The failure must poison
+// every mailbox so blocked receives abort and the original error surfaces.
+TEST(MiniMpi, ThrowingRankDoesNotHangBlockedPeers) {
+  net::World world(3, fast_net());
+  try {
+    world.run([](net::Comm& comm) {
+      if (comm.rank() == 0) throw rcs::Error("boom");
+      comm.recv(0, 1);  // never satisfied: only the poison can wake this
+    });
+    FAIL() << "expected World::run to throw";
+  } catch (const rcs::Error& e) {
+    // The original failure wins over the induced WorldAborted ones.
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(MiniMpi, ThrowingRankWakesBarrier) {
+  net::World world(4, fast_net());
+  EXPECT_THROW(world.run([](net::Comm& comm) {
+    if (comm.rank() == 2) throw rcs::Error("rank 2 died");
+    comm.barrier();
+  }),
+               rcs::Error);
+}
+
+TEST(MiniMpi, RunTwiceStartsFromCleanState) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 5, 111);
+      comm.send_value(1, 5, 333);  // left undelivered in rank 1's mailbox
+      comm.clock().advance(10.0);
+    } else {
+      EXPECT_EQ(comm.recv(0, 5).as<int>(), 111);
+    }
+  });
+  EXPECT_GE(world.makespan(), 10.0);
+
+  // Second run: clocks, byte counters, and mailboxes must start fresh — the
+  // stale 333 from run one must not satisfy run two's receive.
+  world.run([](net::Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.clock().now(), 0.0);
+    EXPECT_EQ(comm.bytes_sent(), 0u);
+    if (comm.rank() == 0) {
+      comm.send_value(1, 5, 222);
+    } else {
+      EXPECT_EQ(comm.recv(0, 5).as<int>(), 222);
+    }
+    comm.clock().advance(1.0);
+  });
+  EXPECT_NEAR(world.makespan(), 1.0, 1e-6);
+}
+
+TEST(MiniMpi, RunAfterFailureRecovers) {
+  net::World world(2, fast_net());
+  EXPECT_THROW(world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) throw rcs::Error("first run dies");
+    comm.recv(0, 1);
+  }),
+               rcs::Error);
+  // The poison from the failed run must not leak into the next one.
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 7);
+    } else {
+      EXPECT_EQ(comm.recv(0, 1).as<int>(), 7);
+    }
+  });
+}
+
 }  // namespace

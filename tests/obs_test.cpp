@@ -70,6 +70,37 @@ TEST(Metrics, HistogramBucketsAndPercentiles) {
   EXPECT_LE(p99, 1024.0);
 }
 
+TEST(Metrics, HistogramPercentileEdgeCases) {
+  obs::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+
+  // Single sample in bucket [4, 8): every percentile stays in that bucket.
+  obs::Histogram one;
+  one.record(5.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50.0), 6.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100.0), 8.0);
+  // Regression: p > 100 used to fall through to the histogram's global
+  // upper bound (~4.6e18); it must clamp to the last non-empty bucket.
+  EXPECT_DOUBLE_EQ(one.percentile(150.0), 8.0);
+
+  // Sub-1.0 samples land in bucket 0 = [0, 1).
+  obs::Histogram small;
+  small.record(0.25);
+  EXPECT_DOUBLE_EQ(small.percentile(0.0), 0.0);
+  EXPECT_LE(small.percentile(100.0), 1.0);
+
+  // The overflow bucket has no finite upper bound: percentiles clamp to
+  // twice its lower bound instead of returning infinity.
+  obs::Histogram overflow;
+  overflow.record(1e300);
+  overflow.record(1e301);
+  const double top = std::ldexp(1.0, 63);  // 2 * the last bucket's lo
+  EXPECT_DOUBLE_EQ(overflow.percentile(100.0), top);
+  EXPECT_DOUBLE_EQ(overflow.percentile(150.0), top);
+  EXPECT_FALSE(std::isinf(overflow.percentile(99.0)));
+}
+
 TEST(Metrics, RegistryReturnsStableInstancesAndRejectsKindCollisions) {
   auto& reg = obs::Registry::global();
   obs::Counter& a = reg.counter("obs_test.stable");

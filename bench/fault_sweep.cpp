@@ -1,0 +1,51 @@
+// Fault-injection sweep: recovery overhead and repair-time distribution of
+// the fault-tolerant LU / Floyd-Warshall pipelines under seeded fault plans
+// (slowdown windows, degraded links, FPGA bit-flips). Each point runs the
+// design fault-free and under the plan with tolerance on and checks the
+// outputs stayed bit-identical — the whole point of ABFT/DMR recovery.
+//
+// Usage: fault_sweep [seeds]   (default 3 seeds per design)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  std::vector<rcs::bench::FaultPoint> points;
+  for (int s = 1; s <= seeds; ++s) {
+    points.push_back(
+        rcs::bench::lu_fault_point(256, 64, 3, static_cast<std::uint64_t>(s)));
+    points.push_back(
+        rcs::bench::fw_fault_point(256, 32, 2, static_cast<std::uint64_t>(s)));
+  }
+
+  std::printf(
+      "%-3s %-5s %-3s %-4s %9s %9s %8s %7s %7s %7s %7s %9s %9s %s\n",
+      "dsn", "n", "p", "seed", "clean_s", "faulty_s", "ovhd%", "inject",
+      "detect", "corr", "reissue", "mttr_p50", "mttr_p99", "bitid");
+  bool all_identical = true;
+  for (const auto& pt : points) {
+    std::printf(
+        "%-3s %-5lld %-3d %-4llu %9.6f %9.6f %7.2f%% %7llu %7llu %7llu "
+        "%7llu %9.2e %9.2e %s\n",
+        pt.design.c_str(), pt.n, pt.p,
+        static_cast<unsigned long long>(pt.seed), pt.clean_sim_s,
+        pt.faulty_sim_s, 100.0 * pt.overhead(),
+        static_cast<unsigned long long>(pt.stats.bitflips_injected),
+        static_cast<unsigned long long>(pt.stats.detected),
+        static_cast<unsigned long long>(pt.stats.corrected_elements),
+        static_cast<unsigned long long>(pt.stats.reissued_blocks),
+        pt.stats.mttr_percentile(0.5), pt.stats.mttr_percentile(0.99),
+        pt.bit_identical ? "yes" : "NO");
+    all_identical = all_identical && pt.bit_identical;
+  }
+  if (!all_identical) {
+    std::printf("FAIL: some faulty runs diverged from the fault-free run\n");
+    return 1;
+  }
+  return 0;
+}

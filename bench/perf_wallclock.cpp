@@ -23,6 +23,7 @@
 #include "core/fw_functional.hpp"
 #include "core/lu_functional.hpp"
 #include "core/system.hpp"
+#include "fault_sweep.hpp"
 #include "fpga/matmul_array.hpp"
 #include "graph/generate.hpp"
 #include "linalg/blas.hpp"
@@ -139,6 +140,7 @@ void write_json(const std::vector<Row>& rows,
                 const core::DriftReport& lu_drift_la,
                 const core::DriftReport& fw_drift_la,
                 const std::vector<rcs::bench::LookaheadPoint>& lookahead,
+                const std::vector<rcs::bench::FaultPoint>& faults,
                 const std::string& path) {
   std::ofstream out(path);
   out << "{\n";
@@ -181,6 +183,39 @@ void write_json(const std::vector<Row>& rows,
       first = false;
     }
     out << "}}" << (i + 1 < lookahead.size() ? "," : "") << '\n';
+  }
+  out << "  ],\n";
+  out << "  \"faults\": [\n";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const rcs::bench::FaultPoint& pt = faults[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"design\": \"%s\", \"n\": %lld, \"b\": %lld, \"p\": %d, "
+        "\"seed\": %llu, \"clean_sim_s\": %.9g, \"faulty_sim_s\": %.9g, "
+        "\"recovery_overhead_pct\": %.4f, \"bit_identical\": %s, "
+        "\"bitflips_injected\": %llu, \"slowdown_hits\": %llu, "
+        "\"link_hits\": %llu, \"checks\": %llu, \"detected\": %llu, "
+        "\"corrected_elements\": %llu, \"reissued_blocks\": %llu, "
+        "\"straggler_timeouts\": %llu, \"straggler_reissues\": %llu, "
+        "\"recovery_cpu_s\": %.9g, \"mttr_p50_s\": %.9g, "
+        "\"mttr_p99_s\": %.9g}%s\n",
+        pt.design.c_str(), pt.n, pt.b, pt.p,
+        static_cast<unsigned long long>(pt.seed), pt.clean_sim_s,
+        pt.faulty_sim_s, 100.0 * pt.overhead(),
+        pt.bit_identical ? "true" : "false",
+        static_cast<unsigned long long>(pt.stats.bitflips_injected),
+        static_cast<unsigned long long>(pt.stats.slowdown_hits),
+        static_cast<unsigned long long>(pt.stats.link_hits),
+        static_cast<unsigned long long>(pt.stats.checks),
+        static_cast<unsigned long long>(pt.stats.detected),
+        static_cast<unsigned long long>(pt.stats.corrected_elements),
+        static_cast<unsigned long long>(pt.stats.reissued_blocks),
+        static_cast<unsigned long long>(pt.stats.straggler_timeouts),
+        static_cast<unsigned long long>(pt.stats.straggler_reissues),
+        pt.stats.recovery_cpu_s, pt.stats.mttr_percentile(0.5),
+        pt.stats.mttr_percentile(0.99), i + 1 < faults.size() ? "," : "");
+    out << buf;
   }
   out << "  ],\n";
   out << "  \"drift\": {\n    \"lu\": ";
@@ -301,8 +336,26 @@ int main(int argc, char** argv) {
         pt.bit_identical ? "yes" : "NO");
   }
 
+  // --- Fault-tolerance sweep at the same design points: recovery overhead
+  // and MTTR under one seeded plan each (see bench/fault_sweep for the
+  // multi-seed standalone table).
+  std::vector<rcs::bench::FaultPoint> faults;
+  faults.push_back(rcs::bench::lu_fault_point(256, 64, 3, 1));
+  faults.push_back(rcs::bench::fw_fault_point(256, 32, 2, 1));
+  for (const auto& pt : faults) {
+    std::printf(
+        "faults %-2s n=%-4lld p=%d seed=%llu: sim %.6f -> %.6f s "
+        "(overhead %.2f%%), injected=%llu detected=%llu, bit_identical=%s\n",
+        pt.design.c_str(), pt.n, pt.p,
+        static_cast<unsigned long long>(pt.seed), pt.clean_sim_s,
+        pt.faulty_sim_s, 100.0 * pt.overhead(),
+        static_cast<unsigned long long>(pt.stats.bitflips_injected),
+        static_cast<unsigned long long>(pt.stats.detected),
+        pt.bit_identical ? "yes" : "NO");
+  }
+
   write_json(rows, lu_drift, fw_drift, lu_drift_la, fw_drift_la, lookahead,
-             path);
+             faults, path);
   std::cout << "wrote " << path << "\n";
   return 0;
 }

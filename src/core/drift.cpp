@@ -99,6 +99,7 @@ DriftReport lu_drift_report(const SystemParams& sys, const LuConfig& cfg,
   }
   attach_overlap(rep.phases, res.overlap);
   if (res.run.seconds > 0.0) rep.utilization = rec.utilization(res.run.seconds);
+  rep.faults = res.faults;
   return rep;
 }
 
@@ -131,6 +132,7 @@ DriftReport fw_drift_report(const SystemParams& sys, const FwConfig& cfg,
   }
   attach_overlap(rep.phases, res.overlap);
   if (res.run.seconds > 0.0) rep.utilization = rec.utilization(res.run.seconds);
+  rep.faults = res.faults;
   return rep;
 }
 
@@ -165,7 +167,23 @@ void DriftReport::write_json(std::ostream& os, int indent) const {
     os << (first ? "" : ", ") << '"' << obs::json_escape(res) << "\": " << u;
     first = false;
   }
-  os << "}\n";
+  os << "},\n";
+  os << pad << "  \"faults\": {"
+     << "\"bitflips_injected\": " << faults.bitflips_injected
+     << ", \"slowdown_hits\": " << faults.slowdown_hits
+     << ", \"slowdown_added_s\": " << faults.slowdown_added_s
+     << ", \"link_hits\": " << faults.link_hits
+     << ", \"link_added_s\": " << faults.link_added_s
+     << ", \"crashes\": " << faults.crashes
+     << ", \"checks\": " << faults.checks
+     << ", \"detected\": " << faults.detected
+     << ", \"corrected_elements\": " << faults.corrected_elements
+     << ", \"reissued_blocks\": " << faults.reissued_blocks
+     << ", \"straggler_timeouts\": " << faults.straggler_timeouts
+     << ", \"straggler_reissues\": " << faults.straggler_reissues
+     << ", \"recovery_cpu_s\": " << faults.recovery_cpu_s
+     << ", \"mttr_p50_s\": " << faults.mttr_percentile(0.5)
+     << ", \"mttr_p99_s\": " << faults.mttr_percentile(0.99) << "}\n";
   os << pad << "}";
   os.flags(flags);
   os.precision(prec);

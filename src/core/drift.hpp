@@ -25,6 +25,7 @@
 #include "core/fw_analytic.hpp"
 #include "core/lu_analytic.hpp"
 #include "linalg/matrix.hpp"
+#include "sim/faults.hpp"
 
 namespace rcs::core {
 
@@ -59,6 +60,9 @@ struct DriftReport {
   double simulated_makespan_s = 0.0;  // latest virtual clock across ranks
   double measured_wall_s = 0.0;       // elapsed wall time of the run
   std::map<std::string, double> utilization;  // resource -> busy / makespan
+  /// Fault injection/recovery accounting of the underlying run (all zeros
+  /// for a fault-free configuration); emitted as the "faults" JSON block.
+  sim::FaultStats faults;
 
   /// JSON object, each line prefixed with `indent` spaces (for embedding).
   void write_json(std::ostream& os, int indent = 0) const;

@@ -16,6 +16,10 @@
 #include "core/partition.hpp"
 #include "core/system.hpp"
 
+namespace rcs::sim {
+class FaultPlan;
+}
+
 namespace rcs::core {
 
 /// Configuration of one Floyd–Warshall run.
@@ -41,6 +45,19 @@ struct FwConfig {
   /// Distances are byte-identical to the blocking schedule; only the
   /// schedule (and therefore the clocks) moves.
   bool lookahead = false;
+  /// Fault injection: schedule of slowdowns/link faults/crashes/bit-flips
+  /// applied during the functional run (must outlive it). Bit-flips target
+  /// the FPGA-assigned wave tasks, counted per rank in streaming order.
+  /// nullptr = the fault-free path. The analytic plane ignores it.
+  const sim::FaultPlan* faults = nullptr;
+  /// Fault tolerance: dual-modular redundancy on FPGA-assigned wave tasks —
+  /// min-plus results carry no exploitable checksum (the tropical semiring
+  /// has no subtraction), so each FPGA task is re-solved from its snapshot
+  /// on the CPU, compared bitwise, and repaired from the check copy on
+  /// mismatch. A straggling owner/peer only slows its wave — the wave
+  /// structure re-runs the lost work by construction, so distances stay
+  /// bit-identical under any slowdown.
+  bool fault_tolerance = false;
 };
 
 /// Analytic run outcome.

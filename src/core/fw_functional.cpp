@@ -1,8 +1,9 @@
 #include "core/fw_functional.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -12,6 +13,7 @@
 #include "net/matrix_channel.hpp"
 #include "node/compute_node.hpp"
 #include "obs/trace.hpp"
+#include "sim/faults.hpp"
 
 namespace rcs::core {
 
@@ -35,15 +37,30 @@ struct RankStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t coordination = 0;
   std::map<std::string, net::OverlapStats> overlap;
+  sim::FaultStats faults;
 };
 
-/// One block task of a wave: the functional kernel call plus its timing
-/// charge, assignable to either side.
+/// One block task of a wave: target = min(target, a (min-plus) b), plus its
+/// timing charge, assignable to either side. Holding the operand spans
+/// (rather than opaque closures) lets the DMR check re-run a task from its
+/// snapshot and lets injection corrupt exactly the FPGA-assigned results.
+/// Aliasing is whole-block or none: op21 aliases b with target, op22
+/// aliases a with target, op3 is disjoint.
 struct BlockTask {
-  std::function<void()> compute_native;
-  std::function<void()> compute_soft;
+  Span2D<double> target;
+  Span2D<const double> a;
+  Span2D<const double> b;
   const char* label;
+  std::uint64_t fpga_call = 0;  // rank-local FPGA ordinal (fault key)
 };
+
+/// Operand remap for the DMR re-run: an operand that aliases the task's
+/// target must read the snapshot-seeded check block instead (the target may
+/// already be corrupted by injection).
+Span2D<const double> dmr_operand(Span2D<const double> s, Span2D<double> target,
+                                 const Matrix& check) {
+  return s.data() == target.data() ? check.view() : s;
+}
 
 }  // namespace
 
@@ -78,6 +95,13 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
 
   const fpga::FwKernel kernel(sys.fw_fpga);
   kernel.require_fits(b);
+
+  // Fault injection/tolerance switches (see FwConfig): an empty plan is the
+  // fault-free path, and DMR only engages on FPGA-assigned wave tasks.
+  const sim::FaultPlan* plan =
+      cfg.faults != nullptr && !cfg.faults->empty() ? cfg.faults : nullptr;
+  const bool inject = plan != nullptr && plan->bitflip_count() > 0;
+  const bool dmr = cfg.fault_tolerance;
   const double task_flops = 2.0 * static_cast<double>(b) *
                             static_cast<double>(b) * static_cast<double>(b);
   const double task_cycles = static_cast<double>(kernel.cycles(b));
@@ -90,6 +114,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
 
   net::World world(p, sys.network);
   world.set_message_logging(message_log != nullptr);
+  world.set_fault_plan(plan);
   std::vector<RankStats> stats(static_cast<std::size_t>(p));
   std::vector<sim::TraceRecorder> rank_traces(
       static_cast<std::size_t>(p),
@@ -101,6 +126,9 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     node::ComputeNode node(sys.node_params_fw(), comm.clock(),
                            &rank_traces[static_cast<std::size_t>(me)],
                            "node" + std::to_string(me));
+    sim::FaultStats& fstats = stats[static_cast<std::size_t>(me)].faults;
+    node.set_faults(plan, me, &fstats);
+    std::uint64_t fpga_calls = 0;  // rank-local FPGA wave-task ordinal
 
     // Local storage: this rank's block-columns, densely packed.
     const long long col0 = me * cols_per_rank;  // first owned block-column
@@ -129,6 +157,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
       // own tasks — the overlap structure of §5.2.
       for (long long i = total - on_fpga; i < total; ++i) {
         auto& task = tasks[static_cast<std::size_t>(i)];
+        task.fpga_call = fpga_calls++;
         node.dram_to_fpga(task_bytes);
         node.fpga_submit(task_cycles, task.label);
         node.note_fpga_flops(task_flops);
@@ -141,6 +170,11 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
         node.fpga_wait();
         node.read_fpga_results("fw wave results");
       }
+      // Per-task fault outcomes, filled inside the parallel region and
+      // folded into the stats serially below (in task order, so the
+      // accounting is deterministic at any RCS_THREADS).
+      std::vector<unsigned char> flipped(tasks.size(), 0);
+      std::vector<unsigned char> repaired(tasks.size(), 0);
       common::parallel_for(
           0, static_cast<std::size_t>(total), 1,
           [&](std::size_t i0, std::size_t i1) {
@@ -148,15 +182,69 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
               // task.label is a string literal ("op21"/"op22"/"op3"), so it
               // satisfies PhaseSpan's static-lifetime requirement.
               obs::PhaseSpan phase("fw", tasks[i].label);
+              BlockTask& task = tasks[i];
               const bool fpga_task =
                   static_cast<long long>(i) >= total - on_fpga;
+              // DMR: snapshot the pre-image before computing; min-plus has
+              // no subtraction to hang a checksum on, so the check re-runs
+              // the task from the snapshot and compares bitwise.
+              Matrix check;
+              if (fpga_task && dmr) check = Matrix::from_view(task.target);
               if (fpga_task && use_soft_fp) {
-                tasks[i].compute_soft();
+                kernel.run_block_soft(task.target, task.a, task.b);
               } else {
-                tasks[i].compute_native();
+                graph::fw_block(task.target, task.a, task.b);
+              }
+              if (fpga_task && inject) {
+                if (const sim::BitFlip* f =
+                        plan->flip_for(me, task.fpga_call)) {
+                  sim::apply_bitflip(*f, task.target);
+                  flipped[i] = 1;
+                }
+              }
+              if (fpga_task && dmr) {
+                const auto a = dmr_operand(task.a, task.target, check);
+                const auto bb = dmr_operand(task.b, task.target, check);
+                if (use_soft_fp) {
+                  kernel.run_block_soft(check.view(), a, bb);
+                } else {
+                  graph::fw_block(check.view(), a, bb);
+                }
+                if (!linalg::bit_equal(check.view(), task.target)) {
+                  linalg::copy(check.view(), task.target);
+                  repaired[i] = 1;
+                }
               }
             }
           });
+      for (long long i = total - on_fpga; i < total; ++i) {
+        if (flipped[static_cast<std::size_t>(i)] != 0) {
+          fstats.bitflips_injected += 1;
+          sim::note_bitflip_injected();
+        }
+      }
+      if (dmr && on_fpga > 0) {
+        // Timing: the CPU re-solves every FPGA task once the wave lands;
+        // a mismatch additionally pays the copy-back repair.
+        const sim::SimTime check_start = comm.clock().now();
+        for (long long i = total - on_fpga; i < total; ++i) {
+          obs::PhaseSpan phase("fw", "dmr");
+          fstats.checks += 1;
+          node.cpu_compute(node::CpuKernel::FwBlock, task_flops, "dmr");
+          if (repaired[static_cast<std::size_t>(i)] != 0) {
+            const sim::SimTime repair_start = comm.clock().now();
+            fstats.detected += 1;
+            sim::note_fault_detected();
+            node.cpu_compute(node::CpuKernel::MemBound,
+                             static_cast<double>(b * b), "dmr.repair");
+            fstats.reissued_blocks += 1;
+            const sim::SimTime mttr = comm.clock().now() - repair_start;
+            fstats.mttr_s.push_back(mttr);
+            sim::note_fault_recovered(mttr);
+          }
+        }
+        fstats.recovery_cpu_s += comm.clock().now() - check_start;
+      }
       tasks.clear();
     };
 
@@ -228,21 +316,13 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
       std::vector<BlockTask> tasks;
       if (me == owner && !q_list.empty()) {
         const long long q0 = q_list.front();
-        tasks.push_back(BlockTask{
-            [&, q0] { graph::fw_block(lblk(q0, t), lblk(q0, t), dtt.view()); },
-            [&, q0] {
-              kernel.run_block_soft(lblk(q0, t), lblk(q0, t), dtt.view());
-            },
-            "op22"});
+        tasks.push_back(BlockTask{lblk(q0, t), lblk(q0, t), dtt.view(),
+                                  "op22"});
       }
       for (long long c = col0; c < col0 + cols_per_rank; ++c) {
         if (c == t) continue;
-        tasks.push_back(BlockTask{
-            [&, c] { graph::fw_block(lblk(t, c), dtt.view(), lblk(t, c)); },
-            [&, c] {
-              kernel.run_block_soft(lblk(t, c), dtt.view(), lblk(t, c));
-            },
-            "op21"});
+        tasks.push_back(BlockTask{lblk(t, c), dtt.view(), lblk(t, c),
+                                  "op21"});
       }
       // Lookahead: post the receive for wave 0's pivot block before the
       // op21 wave computes, so the owner's broadcast streams in behind it.
@@ -289,26 +369,14 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
         }
         if (me == owner && w + 1 < q_list.size()) {
           const long long qn = q_list[w + 1];
-          tasks.push_back(BlockTask{
-              [&, qn] {
-                graph::fw_block(lblk(qn, t), lblk(qn, t), dtt.view());
-              },
-              [&, qn] {
-                kernel.run_block_soft(lblk(qn, t), lblk(qn, t), dtt.view());
-              },
-              "op22"});
+          tasks.push_back(BlockTask{lblk(qn, t), lblk(qn, t), dtt.view(),
+                                    "op22"});
         }
-        // dqt must outlive the task closures: keep it alive for the wave.
+        // dqt must outlive the task spans: keep it alive for the wave.
         for (long long c = col0; c < col0 + cols_per_rank; ++c) {
           if (c == t) continue;
-          tasks.push_back(BlockTask{
-              [&, q, c] {
-                graph::fw_block(lblk(q, c), dqt.view(), lblk(t, c));
-              },
-              [&, q, c] {
-                kernel.run_block_soft(lblk(q, c), dqt.view(), lblk(t, c));
-              },
-              "op3"});
+          tasks.push_back(BlockTask{lblk(q, c), dqt.view(), lblk(t, c),
+                                    "op3"});
         }
         run_wave(tasks);
         if (me == owner && w + 1 < q_list.size()) {
@@ -343,6 +411,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     st.bytes_sent = comm.bytes_sent();
     st.coordination = node.coordination_events();
     st.overlap = comm.overlap_stats();
+    st.faults += comm.fault_stats();  // link/crash side of the plan
 
     // Untimed gather of the block-columns at rank 0.
     obs::PhaseSpan phase("fw", "gather");
@@ -378,6 +447,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
     res.run.bytes_on_network += st.bytes_sent;
     res.run.coordination_events += st.coordination;
     for (const auto& [ph, os] : st.overlap) res.overlap[ph] += os;
+    res.faults += st.faults;
   }
   res.run.total_flops = res.run.cpu_flops + res.run.fpga_flops;
   return res;

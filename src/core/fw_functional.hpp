@@ -24,6 +24,9 @@ struct FwFunctionalResult {
   /// receives). Populated in both schedules; the lookahead pipeline pushes
   /// the hidden fraction (OverlapStats::efficiency) toward 1.
   std::map<std::string, net::OverlapStats> overlap;
+  /// Fault injection/recovery accounting summed over ranks (all zeros when
+  /// cfg.faults is null and fault tolerance is off).
+  sim::FaultStats faults;
 };
 
 /// Run the configured design on a real distance matrix over MiniMPI.

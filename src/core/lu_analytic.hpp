@@ -19,6 +19,10 @@
 #include "core/partition.hpp"
 #include "core/system.hpp"
 
+namespace rcs::sim {
+class FaultPlan;
+}
+
 namespace rcs::core {
 
 /// Configuration of one LU run.
@@ -47,6 +51,20 @@ struct LuConfig {
   /// paper's implementation could not do this ("we used the atomic ACML
   /// routines", §6.2) — this switch quantifies what that cost.
   bool lookahead = false;
+  /// Fault injection: schedule of slowdowns/link faults/crashes/bit-flips
+  /// applied during the functional run (must outlive it). nullptr = the
+  /// fault-free path, byte-identical to a build without this feature. The
+  /// analytic plane ignores it.
+  const sim::FaultPlan* faults = nullptr;
+  /// Fault tolerance: ABFT row/column checksums on every FPGA opMM share —
+  /// detecting corrupted results, repairing single flipped elements exactly
+  /// (bit-identical recompute), re-solving wider corruption on the CPU.
+  bool fault_tolerance = false;
+  /// Straggler tolerance: owners bound their E-share waits by this many
+  /// simulated seconds and re-solve a late worker's columns locally from
+  /// their stashed stripes (Eq. 4 split, bit-identical). 0 = wait forever.
+  /// Requires fault_tolerance.
+  double straggler_timeout_s = 0.0;
 };
 
 /// Analytic run outcome.

@@ -1,7 +1,10 @@
 #include "core/lu_functional.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "net/matrix_channel.hpp"
 #include "node/compute_node.hpp"
 #include "obs/trace.hpp"
+#include "sim/faults.hpp"
 
 namespace rcs::core {
 
@@ -69,7 +73,98 @@ struct RankStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t coordination = 0;
   std::map<std::string, net::OverlapStats> overlap;
+  sim::FaultStats faults;
 };
+
+/// ABFT checksum scan of an FPGA opMM share E_f = C_f x D computed from
+/// zero. Both invariants are O(roundoff)-tight identities of the exact
+/// product: sum_i E(i, j) = (colsums of C_f) . D(:, j) and
+/// sum_j E(i, j) = C_f(i, :) . (rowsums of D). Checksum roundoff scales
+/// with |expected| while the injected flips (mantissa bit >= ~40) sit
+/// orders of magnitude above it, so a fixed relative tolerance separates
+/// them cleanly at the functional plane's scales.
+constexpr double kAbftTol = 1e-9;
+
+struct AbftScan {
+  int bad_rows = 0;
+  int bad_cols = 0;
+  std::size_t row = 0;  // last mismatched row / column
+  std::size_t col = 0;
+  bool clean() const { return bad_rows == 0 && bad_cols == 0; }
+};
+
+AbftScan abft_scan(Span2D<const double> c_f, Span2D<const double> d,
+                   Span2D<const double> e_f) {
+  const std::size_t m = e_f.rows();
+  const std::size_t w = e_f.cols();
+  const std::size_t kk = c_f.cols();
+  AbftScan scan;
+  std::vector<double> csum(kk, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t l = 0; l < kk; ++l) csum[l] += c_f(i, l);
+  }
+  for (std::size_t j = 0; j < w; ++j) {
+    double expect = 0.0;
+    double actual = 0.0;
+    for (std::size_t l = 0; l < kk; ++l) expect += csum[l] * d(l, j);
+    for (std::size_t i = 0; i < m; ++i) actual += e_f(i, j);
+    if (!(std::abs(actual - expect) <=
+          kAbftTol * (1.0 + std::abs(expect)))) {
+      ++scan.bad_cols;
+      scan.col = j;
+    }
+  }
+  std::vector<double> rsum(kk, 0.0);
+  for (std::size_t l = 0; l < kk; ++l) {
+    for (std::size_t j = 0; j < w; ++j) rsum[l] += d(l, j);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double expect = 0.0;
+    double actual = 0.0;
+    for (std::size_t l = 0; l < kk; ++l) expect += c_f(i, l) * rsum[l];
+    for (std::size_t j = 0; j < w; ++j) actual += e_f(i, j);
+    if (!(std::abs(actual - expect) <=
+          kAbftTol * (1.0 + std::abs(expect)))) {
+      ++scan.bad_rows;
+      scan.row = i;
+    }
+  }
+  return scan;
+}
+
+/// Recompute a worker's E share (columns [c0, c1) of C x D) from the full
+/// stripes, bit-identical to the worker's own hybrid result: every entry
+/// accumulates in ascending inner-index order, exactly like both the
+/// MatMulArray stream and the host gemm. The soft-FP rows re-run through
+/// the array's bit-accurate cores element-wise (bypassing any fault hook).
+Matrix recompute_share(const fpga::MatMulArray& mm, Span2D<const double> c,
+                       Span2D<const double> d, long long c0, long long c1,
+                       long long b_f, bool use_soft_fp) {
+  const long long rows = static_cast<long long>(c.rows());
+  const long long cw = c1 - c0;
+  Matrix e(rows, cw);
+  auto dshare = d.block(0, c0, d.rows(), cw);
+  if (b_f > 0) {
+    auto c_f = c.block(0, 0, b_f, c.cols());
+    auto e_f = e.block(0, 0, b_f, cw);
+    if (use_soft_fp) {
+      for (long long i = 0; i < b_f; ++i) {
+        for (long long j = 0; j < cw; ++j) {
+          e_f(i, j) = mm.element(c_f, dshare, static_cast<std::size_t>(i),
+                                 static_cast<std::size_t>(j), 0.0,
+                                 /*soft=*/true);
+        }
+      }
+    } else {
+      linalg::gemm(c_f, dshare, e_f);
+    }
+  }
+  if (rows - b_f > 0) {
+    linalg::gemm(c.block(b_f, 0, rows - b_f, c.cols()), dshare,
+                 e.block(b_f, 0, rows - b_f, cw));
+  }
+  return e;
+}
 
 }  // namespace
 
@@ -107,6 +202,17 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
   const fpga::MatMulArray array(sys.mm_fpga);
   const long long k = sys.mm_fpga.pe_count;
 
+  // Fault injection/tolerance switches. An empty plan is the fault-free
+  // path — the network and node layers skip every fault branch when the
+  // installed plan is null.
+  const sim::FaultPlan* plan =
+      cfg.faults != nullptr && !cfg.faults->empty() ? cfg.faults : nullptr;
+  const bool abft = cfg.fault_tolerance;
+  const double straggler_s = cfg.straggler_timeout_s;
+  RCS_CHECK_MSG(straggler_s >= 0.0, "negative straggler timeout");
+  RCS_CHECK_MSG(straggler_s == 0.0 || cfg.fault_tolerance,
+                "straggler_timeout_s requires fault_tolerance");
+
   // Spawn the shared compute pool before the rank threads exist: each
   // worker's opMM share — the FPGA-emulation rows (MatMulArray) and the
   // CPU rows (linalg::gemm) — runs through this one pool, so p concurrent
@@ -117,6 +223,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
 
   net::World world(p, sys.network);
   world.set_message_logging(message_log != nullptr);
+  world.set_fault_plan(plan);
   std::vector<RankStats> stats(static_cast<std::size_t>(p));
   std::vector<sim::TraceRecorder> rank_traces(
       static_cast<std::size_t>(p),
@@ -128,6 +235,25 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
     node::ComputeNode node(sys.node_params_mm(), comm.clock(),
                            &rank_traces[static_cast<std::size_t>(me)],
                            "node" + std::to_string(me));
+    sim::FaultStats& fstats = stats[static_cast<std::size_t>(me)].faults;
+    node.set_faults(plan, me, &fstats);
+
+    // When the plan schedules bit-flips, this rank's FPGA calls run through
+    // a private hooked array that corrupts the scheduled call's result tile
+    // in place. The shared const array stays on the fault-free path.
+    std::unique_ptr<fpga::MatMulArray> injected;
+    if (plan != nullptr && plan->bitflip_count() > 0) {
+      injected = std::make_unique<fpga::MatMulArray>(sys.mm_fpga);
+      injected->set_fault_hook(
+          [plan, me, &fstats](std::uint64_t call, Span2D<double> tile) {
+            if (const sim::BitFlip* f = plan->flip_for(me, call)) {
+              sim::apply_bitflip(*f, tile);
+              fstats.bitflips_injected += 1;
+              sim::note_bitflip_injected();
+            }
+          });
+    }
+    const fpga::MatMulArray& mm = injected != nullptr ? *injected : array;
 
     // Initial distribution (not timed, as in the paper's experiments): each
     // rank copies its owned blocks out of the input matrix.
@@ -153,6 +279,11 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
       const long long total = static_cast<long long>(order.size());
       const double b3 = static_cast<double>(b) * static_cast<double>(b) *
                         static_cast<double>(b);
+      // Straggler-recovery stash: a worker that owns blocks this iteration
+      // keeps the full C/D stripes of its owned tasks (keyed by task index)
+      // so a late peer's E share can be re-solved locally. The panel rank
+      // owns the stripes outright and needs no stash.
+      std::map<long long, std::pair<Matrix, Matrix>> stash;
 
       if (me == panel) {
         // --- Panel pipeline: opLU, then opL/opU pairs, serving stripe data
@@ -253,7 +384,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
                 node.dram_to_fpga(static_cast<std::uint64_t>(
                     (b_f * ks + ks * cw) * 8));
                 node.fpga_submit(
-                    static_cast<double>(array.cycles(b_f, ks, cw)), "opMM");
+                    static_cast<double>(mm.cycles(b_f, ks, cw)), "opMM");
               }
               if (b_p > 0) {
                 node.cpu_compute(node::CpuKernel::Dgemm,
@@ -266,9 +397,9 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
               auto e_f = e.block(0, 0, b_f, cw);
               auto c_f = c.block(0, 0, b_f, b);
               if (use_soft_fp) {
-                array.multiply_accumulate_soft(c_f, dshare, e_f);
+                mm.multiply_accumulate_soft(c_f, dshare, e_f);
               } else {
-                array.multiply_accumulate(c_f, dshare, e_f);
+                mm.multiply_accumulate(c_f, dshare, e_f);
               }
               node.note_fpga_flops(2.0 * static_cast<double>(b_f * b * cw));
             }
@@ -280,6 +411,49 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
               node.fpga_wait();
               node.read_fpga_results("opMM partial product");
             }
+          }
+          if (abft && b_f > 0) {
+            // --- ABFT: row/column checksum scan of the FPGA share. A
+            // single mismatched (row, col) pair pinpoints one corrupted
+            // element, recomputed exactly in stream order; anything wider
+            // re-solves the whole share element-wise, bypassing the faulty
+            // call. Either repair is bit-identical to the fault-free tile.
+            obs::PhaseSpan phase("lu", "abft");
+            const sim::SimTime check_start = comm.clock().now();
+            fstats.checks += 1;
+            node.cpu_compute(
+                node::CpuKernel::MemBound,
+                static_cast<double>(b_f * b + b * cw + 2 * b_f * cw), "abft");
+            auto e_f = e.block(0, 0, b_f, cw);
+            auto c_f = c.block(0, 0, b_f, b);
+            const AbftScan scan = abft_scan(c_f, dshare, e_f);
+            if (!scan.clean()) {
+              const sim::SimTime repair_start = comm.clock().now();
+              fstats.detected += 1;
+              sim::note_fault_detected();
+              if (scan.bad_rows == 1 && scan.bad_cols == 1) {
+                e_f(scan.row, scan.col) = mm.element(
+                    c_f, dshare, scan.row, scan.col, 0.0, use_soft_fp);
+                node.cpu_compute(node::CpuKernel::Dgemm,
+                                 2.0 * static_cast<double>(b), "abft.repair");
+                fstats.corrected_elements += 1;
+              } else {
+                for (std::size_t ri = 0; ri < e_f.rows(); ++ri) {
+                  for (std::size_t rj = 0; rj < e_f.cols(); ++rj) {
+                    e_f(ri, rj) = mm.element(c_f, dshare, ri, rj, 0.0,
+                                             use_soft_fp);
+                  }
+                }
+                node.cpu_compute(node::CpuKernel::Dgemm,
+                                 2.0 * static_cast<double>(b_f * b * cw),
+                                 "abft.repair");
+                fstats.reissued_blocks += 1;
+              }
+              const sim::SimTime mttr = comm.clock().now() - repair_start;
+              fstats.mttr_s.push_back(mttr);
+              sim::note_fault_recovered(mttr);
+            }
+            fstats.recovery_cpu_s += comm.clock().now() - check_start;
           }
           const int dst = owner_of(u, v, p);
           if (dst == me) {
@@ -296,6 +470,9 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
           } else {
             net::send_matrix(comm, dst, make_tag(Chan::EShare, t, j),
                              e.view());
+          }
+          if (straggler_s > 0.0 && dst == me) {
+            stash.emplace(j, std::make_pair(std::move(c), std::move(d)));
           }
         }
       }
@@ -329,11 +506,50 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
       }
       for (EShare& s : shares) {
         const auto [u, v] = order[static_cast<std::size_t>(s.j)];
-        Matrix e = cfg.lookahead
-                       ? net::wait_matrix(s.req)
-                       : net::recv_matrix(
-                             comm, s.r, make_tag(Chan::EShare, t, s.j),
-                             "opMS");
+        Matrix e;
+        bool late = false;
+        if (straggler_s > 0.0) {
+          e = cfg.lookahead
+                  ? net::wait_matrix_deadline(s.req, straggler_s, &late)
+                  : net::recv_matrix_deadline(
+                        comm, s.r, make_tag(Chan::EShare, t, s.j),
+                        straggler_s, &late, "opMS");
+        } else {
+          e = cfg.lookahead
+                  ? net::wait_matrix(s.req)
+                  : net::recv_matrix(
+                        comm, s.r, make_tag(Chan::EShare, t, s.j),
+                        "opMS");
+        }
+        if (late) {
+          // Graceful degradation: the peer's share missed the deadline.
+          // Re-solve its columns locally from the stashed (or owned) full
+          // stripes — bit-identical to the share the worker would have
+          // sent, so the factors don't move.
+          obs::PhaseSpan phase("lu", "straggler");
+          const sim::SimTime repair_start = comm.clock().now();
+          const Matrix* cm = nullptr;
+          const Matrix* dm = nullptr;
+          if (me == panel) {
+            cm = &blk(u, t);
+            dm = &blk(t, v);
+          } else {
+            const auto& pr = stash.at(s.j);
+            cm = &pr.first;
+            dm = &pr.second;
+          }
+          e = recompute_share(mm, cm->view(), dm->view(), s.c0, s.c1, b_f,
+                              use_soft_fp);
+          node.cpu_compute(
+              node::CpuKernel::Dgemm,
+              2.0 * static_cast<double>(b * b * (s.c1 - s.c0)),
+              "straggler.reissue");
+          fstats.straggler_reissues += 1;
+          const sim::SimTime mttr = comm.clock().now() - repair_start;
+          fstats.mttr_s.push_back(mttr);
+          fstats.recovery_cpu_s += mttr;
+          sim::note_fault_recovered(mttr);
+        }
         obs::PhaseSpan phase("lu", "opMS");
         linalg::matrix_sub(blk(u, v).block(0, s.c0, b, s.c1 - s.c0),
                            e.view());
@@ -356,6 +572,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
     st.bytes_sent = comm.bytes_sent();
     st.coordination = node.coordination_events();
     st.overlap = comm.overlap_stats();
+    st.faults += comm.fault_stats();  // link/crash/timeout side of the plan
 
     // Gather the factored blocks at rank 0.
     obs::PhaseSpan phase("lu", "gather");
@@ -400,6 +617,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
     res.run.bytes_on_network += st.bytes_sent;
     res.run.coordination_events += st.coordination;
     for (const auto& [ph, os] : st.overlap) res.overlap[ph] += os;
+    res.faults += st.faults;
   }
   res.run.total_flops = res.run.cpu_flops + res.run.fpga_flops;
   return res;

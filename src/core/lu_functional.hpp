@@ -34,6 +34,9 @@ struct LuFunctionalResult {
   /// both schedules; the lookahead pipeline exists to push the hidden
   /// fraction (OverlapStats::efficiency) toward 1.
   std::map<std::string, net::OverlapStats> overlap;
+  /// Fault injection/recovery accounting summed over ranks (all zeros when
+  /// cfg.faults is null and fault tolerance is off).
+  sim::FaultStats faults;
 };
 
 /// Run the configured LU design on real data over MiniMPI.

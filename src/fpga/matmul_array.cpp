@@ -88,6 +88,24 @@ void MatMulArray::mac_impl(Span2D<const double> c, Span2D<const double> d,
       }
     }
   });
+  run_fault_hook(e);
+}
+
+void MatMulArray::run_fault_hook(Span2D<double> e) const {
+  if (!fault_hook_) return;
+  fault_hook_(call_seq_++, e);
+}
+
+double MatMulArray::element(Span2D<const double> c, Span2D<const double> d,
+                            std::size_t i, std::size_t j, double init,
+                            bool soft, bool nt) const {
+  double acc = init;
+  for (std::size_t l = 0; l < c.cols(); ++l) {
+    const double dv = nt ? d(j, l) : d(l, j);
+    acc = soft ? fparith::SoftFp::mac(acc, c(i, l), dv)
+               : fparith::NativeFp::mac(acc, c(i, l), dv);
+  }
+  return acc;
 }
 
 void MatMulArray::multiply_accumulate(Span2D<const double> c,
@@ -124,6 +142,7 @@ void MatMulArray::mac_nt_impl(Span2D<const double> c, Span2D<const double> d,
       }
     }
   });
+  run_fault_hook(e);
 }
 
 void MatMulArray::multiply_accumulate_nt(Span2D<const double> c,

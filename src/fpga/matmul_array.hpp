@@ -18,6 +18,7 @@
 // per-entry order is untouched, so outputs are identical at any RCS_THREADS.
 
 #include <cstdint>
+#include <functional>
 
 #include "common/span2d.hpp"
 #include "fparith/backend.hpp"
@@ -27,6 +28,14 @@ namespace rcs::fpga {
 
 class MatMulArray {
  public:
+  /// Fault-injection hook: invoked after each multiply_accumulate* with this
+  /// array's 0-based call ordinal and a mutable view of the freshly computed
+  /// result tile, so an installed fault plan can corrupt specific results
+  /// (e.g. SEU bit-flips). Arrays with a hook are stateful (they count
+  /// calls) — give each simulated rank its own instance.
+  using FaultHook =
+      std::function<void(std::uint64_t call, Span2D<double> e)>;
+
   /// Binds the array to a device configuration (k PEs at F_f).
   explicit MatMulArray(DeviceConfig dev);
 
@@ -76,6 +85,25 @@ class MatMulArray {
                                    Span2D<const double> d,
                                    Span2D<double> e) const;
 
+  /// Install (or clear, with an empty function) the fault hook and reset the
+  /// call counter. The default-constructed array has no hook and pays
+  /// nothing for the feature beyond one branch per call.
+  void set_fault_hook(FaultHook hook) {
+    fault_hook_ = std::move(hook);
+    call_seq_ = 0;
+  }
+
+  /// Calls issued since the hook was installed (0 without a hook).
+  std::uint64_t calls_issued() const { return call_seq_; }
+
+  /// Recompute one element of E += C x D exactly as the array computes it —
+  /// `init` (the pre-call value of e(i, j)) accumulated with c(i, l) * d(l, j)
+  /// in ascending l — so an ABFT repair reproduces the uncorrupted result
+  /// bit-for-bit. `soft` selects the bit-accurate cores; `nt` the D^T form.
+  double element(Span2D<const double> c, Span2D<const double> d,
+                 std::size_t i, std::size_t j, double init, bool soft,
+                 bool nt = false) const;
+
  private:
   template <typename Backend>
   void mac_impl(Span2D<const double> c, Span2D<const double> d,
@@ -87,7 +115,12 @@ class MatMulArray {
   /// Telemetry: bump fpga.mm.{calls,macs,stalls} for one m x inner x n call.
   void note_call(std::size_t m, std::size_t inner, std::size_t n) const;
 
+  /// Hand the finished tile to the fault hook (no-op without one).
+  void run_fault_hook(Span2D<double> e) const;
+
   DeviceConfig dev_;
+  FaultHook fault_hook_;
+  mutable std::uint64_t call_seq_ = 0;  // counts only while a hook is set
 };
 
 }  // namespace rcs::fpga

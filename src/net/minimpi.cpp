@@ -56,15 +56,57 @@ void Comm::log_message(int dst, std::uint64_t bytes, SimTime depart,
   sent_log_.push_back(MessageEvent{rank_, dst, bytes, depart, arrival});
 }
 
+void Comm::check_crash() {
+  const sim::FaultPlan* plan = world_->fault_plan_;
+  if (plan == nullptr) return;
+  const SimTime at = plan->crash_time(rank_);
+  if (clock_.now() < at) return;
+  if (!world_->is_failed(rank_)) {
+    fault_stats_.crashes += 1;
+    sim::note_crash_injected();
+    world_->mark_failed(rank_);
+  }
+  throw RankFailed(rank_, "rank " + std::to_string(rank_) +
+                              " fail-stopped at simulated t=" +
+                              std::to_string(at) + "s (FaultPlan crash)");
+}
+
+sim::LinkCost Comm::wire_cost(int dst, std::uint64_t bytes) {
+  sim::LinkCost base;
+  base.latency_s = world_->network().latency_s;
+  base.bytes_per_s = world_->network().bytes_per_s;
+  const sim::FaultPlan* plan = world_->fault_plan_;
+  if (plan == nullptr) return base;
+  const sim::LinkCost cost =
+      plan->link_cost(rank_, dst, clock_.now(), base, msg_seq_++);
+  const double b = static_cast<double>(bytes);
+  const SimTime added = (cost.latency_s + b / cost.bytes_per_s) -
+                        (base.latency_s + b / base.bytes_per_s);
+  if (added > 0.0) {
+    fault_stats_.link_hits += 1;
+    fault_stats_.link_added_s += added;
+  }
+  return cost;
+}
+
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t bytes) {
   RCS_CHECK_MSG(dst >= 0 && dst < world_->size(), "send to bad rank " << dst);
   RCS_CHECK_MSG(dst != rank_, "send to self (rank " << rank_ << ")");
+  RCS_CHECK_MSG(tag >= 0,
+                "send with reserved tag " << tag << " (user tags must be >= 0)");
+  send_bytes_any_tag(dst, tag, data, bytes);
+}
+
+void Comm::send_bytes_any_tag(int dst, int tag, const void* data,
+                              std::size_t bytes) {
+  check_crash();
   obs::ScopedTimer span("send", "net");
   note_send_metrics(bytes);
   // §4.3: the processor drives MPI, so the CPU is busy for the whole
   // serialization; arrival coincides with send completion.
+  const sim::LinkCost cost = wire_cost(dst, bytes);
   const SimTime depart = clock_.now();
-  clock_.advance(world_->network().transfer_time(bytes));
+  clock_.advance(cost.latency_s + static_cast<double>(bytes) / cost.bytes_per_s);
   bytes_sent_ += bytes;
   log_message(dst, bytes, depart, clock_.now());
 
@@ -82,13 +124,16 @@ void Comm::isend_bytes(int dst, int tag, const void* data,
                        std::size_t bytes) {
   RCS_CHECK_MSG(dst >= 0 && dst < world_->size(), "isend to bad rank " << dst);
   RCS_CHECK_MSG(dst != rank_, "isend to self (rank " << rank_ << ")");
+  RCS_CHECK_MSG(
+      tag >= 0, "isend with reserved tag " << tag << " (user tags must be >= 0)");
+  check_crash();
   obs::ScopedTimer span("isend", "net");
   note_send_metrics(bytes);
   // CPU pays only the DMA setup; the NIC serializes the transfer.
-  clock_.advance(world_->network().latency_s);
+  const sim::LinkCost cost = wire_cost(dst, bytes);
+  clock_.advance(cost.latency_s);
   const SimTime start = std::max(clock_.now(), nic_busy_until_);
-  nic_busy_until_ =
-      start + static_cast<double>(bytes) / world_->network().bytes_per_s;
+  nic_busy_until_ = start + static_cast<double>(bytes) / cost.bytes_per_s;
   bytes_sent_ += bytes;
   log_message(dst, bytes, start, nic_busy_until_);
 
@@ -167,8 +212,7 @@ double Comm::reduce_sum(int root, int tag, double value) {
   return sum;
 }
 
-Message Comm::complete_recv(int src, int tag, const char* overlap_phase) {
-  Message msg = world_->take(rank_, src, tag);
+void Comm::finish_recv(const Message& msg, const char* overlap_phase) {
   if (overlap_phase != nullptr) {
     // Wire-time attribution: of the message's [depart, arrival] interval,
     // the part already behind this rank's clock was hidden behind its own
@@ -182,44 +226,171 @@ Message Comm::complete_recv(int src, int tag, const char* overlap_phase) {
     st.hidden_s += total - visible;
   }
   clock_.advance_to(msg.arrival);
+}
+
+Message Comm::complete_recv(int src, int tag, const char* overlap_phase) {
+  Message msg = world_->take(rank_, src, tag);
+  finish_recv(msg, overlap_phase);
+  return msg;
+}
+
+Message Comm::complete_recv_deadline(int src, int tag, SimTime deadline,
+                                     bool* timed_out,
+                                     const char* overlap_phase) {
+  if (timed_out != nullptr) *timed_out = false;
+  Message msg;
+  try {
+    msg = world_->take(rank_, src, tag);
+  } catch (const RankFailed&) {
+    // The peer fail-stopped without sending: give up at the deadline.
+    if (timed_out != nullptr) *timed_out = true;
+    fault_stats_.straggler_timeouts += 1;
+    sim::note_straggler_timeout();
+    clock_.advance_to(deadline);
+    return Message{};
+  }
+  if (msg.arrival > deadline) {
+    // Late: the message is drained (it exists; the payload may serve
+    // diagnostics) but the clock stops at the deadline, so the caller can
+    // recompute the straggler's work without inheriting its delay. The
+    // verdict compares simulated times only — wall-clock scheduling cannot
+    // change it.
+    if (timed_out != nullptr) *timed_out = true;
+    fault_stats_.straggler_timeouts += 1;
+    sim::note_straggler_timeout();
+    clock_.advance_to(deadline);
+    return msg;
+  }
+  finish_recv(msg, overlap_phase);
   return msg;
 }
 
 Message Comm::recv(int src, int tag, const char* overlap_phase) {
   RCS_CHECK_MSG(src >= 0 && src < world_->size(), "recv from bad rank " << src);
   RCS_CHECK_MSG(src != rank_, "recv from self (rank " << rank_ << ")");
+  RCS_CHECK_MSG(
+      tag >= 0, "recv with reserved tag " << tag << " (user tags must be >= 0)");
+  return recv_any_tag(src, tag, overlap_phase);
+}
+
+Message Comm::recv_any_tag(int src, int tag, const char* overlap_phase) {
+  check_crash();
   // The span covers the blocking mailbox wait — idle time shows up in the
   // trace as long "recv" slices on the waiting rank's lane.
   obs::ScopedTimer span("recv", "net");
   return complete_recv(src, tag, overlap_phase);
 }
 
+Message Comm::recv_deadline(int src, int tag, SimTime timeout_s,
+                            bool* timed_out, const char* overlap_phase) {
+  RCS_CHECK_MSG(src >= 0 && src < world_->size(),
+                "recv_deadline from bad rank " << src);
+  RCS_CHECK_MSG(src != rank_, "recv_deadline from self (rank " << rank_ << ")");
+  RCS_CHECK_MSG(tag >= 0, "recv_deadline with reserved tag " << tag);
+  RCS_CHECK_MSG(timeout_s > 0.0, "recv_deadline timeout must be positive");
+  check_crash();
+  obs::ScopedTimer span("recv", "net");
+  return complete_recv_deadline(src, tag, clock_.now() + timeout_s, timed_out,
+                                overlap_phase);
+}
+
+Message Comm::recv_retry(int src, int tag, SimTime timeout_s, int max_retries,
+                         double backoff, bool* gave_up,
+                         const char* overlap_phase) {
+  RCS_CHECK_MSG(src >= 0 && src < world_->size(),
+                "recv_retry from bad rank " << src);
+  RCS_CHECK_MSG(src != rank_, "recv_retry from self (rank " << rank_ << ")");
+  RCS_CHECK_MSG(tag >= 0, "recv_retry with reserved tag " << tag);
+  RCS_CHECK_MSG(timeout_s > 0.0, "recv_retry timeout must be positive");
+  RCS_CHECK_MSG(max_retries >= 0 && backoff >= 1.0,
+                "recv_retry needs max_retries >= 0 and backoff >= 1");
+  check_crash();
+  if (gave_up != nullptr) *gave_up = false;
+  obs::ScopedTimer span("recv", "net");
+
+  bool peer_failed = false;
+  Message msg;
+  try {
+    msg = world_->take(rank_, src, tag);
+  } catch (const RankFailed&) {
+    peer_failed = true;
+  }
+  // Bounded retry with backoff, resolved against simulated arrival times:
+  // each retry extends the deadline by `backoff` times the previous grant.
+  SimTime deadline = clock_.now() + timeout_s;
+  SimTime grant = timeout_s;
+  int retries = 0;
+  while (!peer_failed && msg.arrival > deadline && retries < max_retries) {
+    grant *= backoff;
+    deadline += grant;
+    ++retries;
+  }
+  if (peer_failed || msg.arrival > deadline) {
+    // Give up only after the full retry budget: the clock reflects every
+    // extension the caller was willing to grant.
+    while (retries < max_retries) {
+      grant *= backoff;
+      deadline += grant;
+      ++retries;
+    }
+    if (gave_up != nullptr) *gave_up = true;
+    fault_stats_.straggler_timeouts += 1;
+    sim::note_straggler_timeout();
+    clock_.advance_to(deadline);
+    return peer_failed ? Message{} : msg;
+  }
+  finish_recv(msg, overlap_phase);
+  return msg;
+}
+
 Request Comm::irecv(int src, int tag, const char* overlap_phase) {
   RCS_CHECK_MSG(src >= 0 && src < world_->size(),
                 "irecv from bad rank " << src);
   RCS_CHECK_MSG(src != rank_, "irecv from self (rank " << rank_ << ")");
+  RCS_CHECK_MSG(
+      tag >= 0, "irecv with reserved tag " << tag << " (user tags must be >= 0)");
+  check_crash();
   // Posting is free on the simulated clock: the NIC/mailbox accepts the
   // message whenever it arrives; only wait() synchronizes the timeline.
   return Request(this, src, tag, overlap_phase);
 }
 
 bool Request::test() const {
-  RCS_CHECK_MSG(comm_ != nullptr, "test() on an empty or consumed Request");
+  if (comm_ == nullptr) return false;  // empty or moved-from: nothing pending
+  if (done_) return true;              // completed: wait() returns immediately
   return comm_->world_->poll(comm_->rank_, src_, tag_);
 }
 
 Message Request::wait() {
-  RCS_CHECK_MSG(comm_ != nullptr, "wait() on an empty or consumed Request");
-  Comm* comm = comm_;
-  comm_ = nullptr;
+  RCS_CHECK_MSG(comm_ != nullptr, "wait() on an empty or moved-from Request");
+  if (done_) return msg_;  // idempotent: re-returns the cached message
   obs::ScopedTimer span("wait", "net");
-  return comm->complete_recv(src_, tag_, phase_);
+  comm_->check_crash();
+  msg_ = comm_->complete_recv(src_, tag_, phase_);
+  done_ = true;
+  return msg_;
+}
+
+Message Request::wait_deadline(SimTime timeout_s, bool* timed_out) {
+  RCS_CHECK_MSG(comm_ != nullptr,
+                "wait_deadline() on an empty or moved-from Request");
+  RCS_CHECK_MSG(timeout_s > 0.0, "wait_deadline timeout must be positive");
+  if (timed_out != nullptr) *timed_out = false;
+  if (done_) return msg_;
+  obs::ScopedTimer span("wait", "net");
+  comm_->check_crash();
+  msg_ = comm_->complete_recv_deadline(
+      src_, tag_, comm_->clock().now() + timeout_s, timed_out, phase_);
+  done_ = true;
+  return msg_;
 }
 
 void Comm::reset_for_run() {
   clock_ = VirtualClock();
   nic_busy_until_ = 0.0;
   bytes_sent_ = 0;
+  msg_seq_ = 0;
+  fault_stats_ = sim::FaultStats();
   sent_log_.clear();
   overlap_.clear();
 }
@@ -266,19 +437,20 @@ void Comm::barrier() {
   if (rank_ == 0) {
     SimTime latest = clock_.now();
     for (int r = 1; r < p; ++r) {
-      Message m = recv(r, kGatherTag);
+      Message m = recv_any_tag(r, kGatherTag, nullptr);
       latest = std::max(latest, m.arrival);
     }
     clock_.advance_to(latest);
-    for (int r = 1; r < p; ++r) send_bytes(r, kReleaseTag, &token, 1);
+    for (int r = 1; r < p; ++r) send_bytes_any_tag(r, kReleaseTag, &token, 1);
   } else {
-    send_bytes(0, kGatherTag, &token, 1);
-    (void)recv(0, kReleaseTag);
+    send_bytes_any_tag(0, kGatherTag, &token, 1);
+    (void)recv_any_tag(0, kReleaseTag, nullptr);
   }
 }
 
 std::vector<double> Comm::gather_double(int root, int tag, double value) {
   const int p = size();
+  RCS_CHECK_MSG(root >= 0 && root < p, "gather bad root " << root);
   if (rank_ != root) {
     send_doubles(root, tag, &value, 1);
     return {};
@@ -300,16 +472,25 @@ double Comm::allreduce_max(double value) {
   if (p == 1) return value;
   if (rank_ == 0) {
     double best = value;
-    for (int r = 1; r < p; ++r) best = std::max(best, recv(r, kUpTag).as<double>());
-    for (int r = 1; r < p; ++r) send_value(r, kDownTag, best);
+    for (int r = 1; r < p; ++r) {
+      best = std::max(best, recv_any_tag(r, kUpTag, nullptr).as<double>());
+    }
+    for (int r = 1; r < p; ++r) {
+      send_bytes_any_tag(r, kDownTag, &best, sizeof(best));
+    }
     return best;
   }
-  send_value(0, kUpTag, value);
-  return recv(0, kDownTag).as<double>();
+  send_bytes_any_tag(0, kUpTag, &value, sizeof(value));
+  return recv_any_tag(0, kDownTag, nullptr).as<double>();
 }
 
 World::World(int size, NetworkParams net) : size_(size), net_(net) {
   RCS_CHECK_MSG(size >= 1, "world size must be at least 1, got " << size);
+  failed_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    failed_[static_cast<std::size_t>(r)].store(false,
+                                               std::memory_order_relaxed);
+  }
   mailboxes_.reserve(static_cast<std::size_t>(size));
   comms_.reserve(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) {
@@ -374,6 +555,16 @@ Message World::take(int dst, int src, int tag) {
                          "waiting for src=" +
                          std::to_string(src) + " tag=" + std::to_string(tag));
     }
+    // A fail-stopped source will never send: surface RankFailed instead of
+    // blocking forever. Also after the queue search — pre-crash messages
+    // stay consumable, and the crash time is simulated, so which messages
+    // precede it is deterministic.
+    if (is_failed(src)) {
+      throw RankFailed(src, "rank " + std::to_string(dst) +
+                                " waiting for src=" + std::to_string(src) +
+                                " tag=" + std::to_string(tag) +
+                                ", but that rank fail-stopped");
+    }
     box.cv.wait(lock);
   }
 }
@@ -382,9 +573,12 @@ bool World::poll(int dst, int src, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::lock_guard<std::mutex> lock(box.mu);
   if (box.poisoned) return true;  // wait() would throw, not block
-  return std::any_of(
-      box.queue.begin(), box.queue.end(),
-      [&](const Message& m) { return m.src == src && m.tag == tag; });
+  if (std::any_of(box.queue.begin(), box.queue.end(), [&](const Message& m) {
+        return m.src == src && m.tag == tag;
+      })) {
+    return true;
+  }
+  return is_failed(src);  // wait() would throw RankFailed, not block
 }
 
 void World::poison_mailboxes() {
@@ -397,6 +591,27 @@ void World::poison_mailboxes() {
   }
 }
 
+void World::mark_failed(int rank) {
+  failed_[static_cast<std::size_t>(rank)].store(true,
+                                                std::memory_order_release);
+  // Wake every blocked take(): waits on the dead rank must re-check and
+  // throw RankFailed; everyone else re-blocks harmlessly.
+  for (auto& box : mailboxes_) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+    }
+    box->cv.notify_all();
+  }
+}
+
+std::vector<int> World::failed_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r) {
+    if (is_failed(r)) out.push_back(r);
+  }
+  return out;
+}
+
 void World::run(const std::function<void(Comm&)>& rank_main) {
   if (ran_) {
     // A World is reusable: wipe every per-run artifact (stale clocks, NIC
@@ -406,6 +621,10 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
       std::lock_guard<std::mutex> lock(box->mu);
       box->queue.clear();
       box->poisoned = false;
+    }
+    for (int r = 0; r < size_; ++r) {
+      failed_[static_cast<std::size_t>(r)].store(false,
+                                                 std::memory_order_relaxed);
     }
     for (auto& c : comms_) c->reset_for_run();
   }
@@ -434,6 +653,24 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
             if (!first_error) {
               first_error = std::current_exception();
               first_is_abort = true;
+            }
+          } catch (const RankFailed& rf) {
+            if (rf.rank == r) {
+              // Injected fail-stop of this rank: expected under a FaultPlan.
+              // The world keeps running — survivors observe the failure as
+              // RankFailed on their own receives and may tolerate it.
+            } else {
+              // A survivor let a peer's failure escape its main function:
+              // the app did not tolerate the fault, so unwind the world
+              // like any other error.
+              {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_error || first_is_abort) {
+                  first_error = std::current_exception();
+                  first_is_abort = false;
+                }
+              }
+              poison_mailboxes();
             }
           } catch (...) {
             {

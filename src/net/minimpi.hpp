@@ -18,6 +18,7 @@
 // on message payload sizes and compute charges — never on wall-clock time —
 // so repeated runs give identical simulated timings and data.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +35,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 // Extended collectives and DMA-style transfers live alongside the basic
 // MPI-flavoured operations; see the class comments below.
@@ -123,6 +125,17 @@ struct WorldAborted : Error {
   explicit WorldAborted(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a rank fail-stops under an injected FaultPlan crash, and out
+/// of receives/waits on a peer that has already failed. Distinct from
+/// WorldAborted: a RankFailed world keeps running — survivors observe the
+/// failure per-operation and may catch it to degrade gracefully, whereas
+/// WorldAborted means the whole run is unwinding after an unexpected error.
+struct RankFailed : Error {
+  RankFailed(int failed_rank, const std::string& what)
+      : Error(what), rank(failed_rank) {}
+  int rank;  // the rank that fail-stopped (may be the thrower or a peer)
+};
+
 /// Comm/transfer overlap accounting for one phase label: how much of the
 /// simulated transfer time of received messages was hidden behind the
 /// receiver's own compute (clock already past the wire interval when the
@@ -158,23 +171,39 @@ class Request {
     src_ = o.src_;
     tag_ = o.tag_;
     phase_ = o.phase_;
+    done_ = o.done_;
+    msg_ = std::move(o.msg_);
     o.comm_ = nullptr;
+    o.done_ = false;
     return *this;
   }
   Request(const Request&) = delete;
   Request& operator=(const Request&) = delete;
 
-  /// True while a wait() is still owed.
+  /// True while a wait() is still owed (completed requests stay valid: their
+  /// wait() re-returns the cached message).
   bool valid() const { return comm_ != nullptr; }
 
   /// Non-blocking: has the matching message already been delivered (i.e.
-  /// would wait() return without blocking the thread)?
+  /// would wait() return without blocking the thread)? Returns true after a
+  /// completed wait(), false on an empty or moved-from request.
   bool test() const;
 
   /// Block (wall clock) until the message is available, advance the rank's
-  /// simulated clock to at least its arrival, and return it. Consumes the
-  /// request. Throws WorldAborted if a peer rank failed.
+  /// simulated clock to at least its arrival, and return it. Idempotent:
+  /// waiting again returns a copy of the same message with no further clock
+  /// effect. Throws Error on an empty/moved-from request, WorldAborted if a
+  /// peer rank failed unexpectedly, RankFailed if the source fail-stopped
+  /// under a FaultPlan before sending.
   Message wait();
+
+  /// wait() with a simulated-time budget measured from the call: if the
+  /// message's arrival lands past `clock.now() + timeout_s` (or the source
+  /// fail-stopped), sets *timed_out, advances the clock only to the
+  /// deadline, and returns the late message (src = -1 if the peer died
+  /// without sending). Deterministic: the verdict depends on simulated
+  /// arrival times only, never on wall-clock scheduling.
+  Message wait_deadline(SimTime timeout_s, bool* timed_out);
 
  private:
   friend class Comm;
@@ -185,6 +214,8 @@ class Request {
   int src_ = -1;
   int tag_ = -1;
   const char* phase_ = nullptr;
+  bool done_ = false;  // wait() completed; msg_ caches the result
+  Message msg_;
 };
 
 /// A rank's handle to the world: MPI-flavoured operations plus the rank's
@@ -196,6 +227,11 @@ class Comm {
 
   /// Point-to-point send of raw bytes. Charges `transfer_time(bytes)` to
   /// this rank's clock; the message arrives at the charged completion time.
+  /// All point-to-point operations validate their arguments: the peer rank
+  /// must be in [0, size) and distinct from this rank, and user tags must be
+  /// non-negative (negative tags are reserved for internal collectives) —
+  /// violations throw a descriptive Error instead of indexing mailboxes out
+  /// of bounds.
   void send_bytes(int dst, int tag, const void* data, std::size_t bytes);
 
   /// DMA-style non-blocking send: the transfer occupies this rank's NIC
@@ -211,8 +247,26 @@ class Comm {
   /// Blocking receive from a specific source and tag. The clock advances to
   /// at least the message's simulated arrival. When `overlap_phase` is
   /// given, the message's wire time is attributed to that phase's
-  /// OverlapStats (hidden vs visible relative to this clock).
+  /// OverlapStats (hidden vs visible relative to this clock). Throws
+  /// RankFailed when `src` fail-stopped before sending the message.
   Message recv(int src, int tag, const char* overlap_phase = nullptr);
+
+  /// recv() with a simulated-time budget: if the message's arrival lands
+  /// past `clock.now() + timeout_s` (or the source fail-stopped), sets
+  /// *timed_out, advances the clock only to the deadline, and returns the
+  /// late message (src = -1 when the peer died without sending) so the
+  /// caller can degrade gracefully instead of stalling on a straggler.
+  Message recv_deadline(int src, int tag, SimTime timeout_s, bool* timed_out,
+                        const char* overlap_phase = nullptr);
+
+  /// recv_deadline with bounded retry/backoff: the deadline is extended
+  /// `max_retries` times, each extension `backoff` times longer than the
+  /// last. Sets *gave_up when the message misses every extended deadline;
+  /// the clock then stops at the last deadline. Deterministic for the same
+  /// reason recv_deadline is: only simulated arrival times are compared.
+  Message recv_retry(int src, int tag, SimTime timeout_s, int max_retries,
+                     double backoff, bool* gave_up,
+                     const char* overlap_phase = nullptr);
 
   /// Post a nonblocking receive: returns immediately (no clock charge); the
   /// returned Request's wait() completes the receive. Lookahead pipelines
@@ -277,6 +331,10 @@ class Comm {
   /// Total bytes this rank has sent (for reports).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Injection accounting for this rank under the World's FaultPlan (link
+  /// degradation seconds, self-crash). Zeroed when no plan is installed.
+  const sim::FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   friend class World;
   friend class Request;
@@ -288,6 +346,31 @@ class Comm {
   /// Take the message, advance the clock, and attribute its wire time to
   /// `overlap_phase` (shared by recv and Request::wait).
   Message complete_recv(int src, int tag, const char* overlap_phase);
+
+  /// Accept a taken message: attribute its wire time to `overlap_phase` and
+  /// advance the clock to its arrival.
+  void finish_recv(const Message& msg, const char* overlap_phase);
+
+  /// Deadline variant shared by recv_deadline and Request::wait_deadline.
+  Message complete_recv_deadline(int src, int tag, SimTime deadline,
+                                 bool* timed_out, const char* overlap_phase);
+
+  /// Internal send/recv that accept reserved (negative) tags — the public
+  /// operations validate user tags and then route through these.
+  void send_bytes_any_tag(int dst, int tag, const void* data,
+                          std::size_t bytes);
+  Message recv_any_tag(int src, int tag, const char* overlap_phase);
+
+  /// Fail-stop checkpoint: when the installed FaultPlan crashes this rank
+  /// at t <= now, mark the rank failed, wake every blocked peer, and throw
+  /// RankFailed. Called on entry to every communication operation — crashes
+  /// manifest at the first message the dead rank would have touched.
+  void check_crash();
+
+  /// Per-message wire parameters: the network's nominal latency/bandwidth,
+  /// degraded and jittered by the FaultPlan when one is installed (also
+  /// advances the deterministic per-rank message sequence counter).
+  sim::LinkCost wire_cost(int dst, std::uint64_t bytes);
 
   /// Restore construction-time state so a World can be run() again.
   void reset_for_run();
@@ -301,6 +384,8 @@ class Comm {
   VirtualClock clock_;
   SimTime nic_busy_until_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t msg_seq_ = 0;  // per-rank send ordinal (fault jitter key)
+  sim::FaultStats fault_stats_;
   obs::Counter* metric_msgs_ = nullptr;   // "net.rank<r>.msgs_sent"
   obs::Counter* metric_bytes_ = nullptr;  // "net.rank<r>.bytes_sent"
   std::vector<MessageEvent> sent_log_;  // only filled when logging enabled
@@ -347,6 +432,16 @@ class World {
   /// All messages sent during the run, in departure order.
   std::vector<MessageEvent> message_log() const;
 
+  /// Install a fault plan for subsequent run()s (nullptr = fault-free; the
+  /// plan must outlive the runs). With a plan, sends see degraded/jittered
+  /// links, ranks fail-stop at their crash times, and receives from failed
+  /// peers throw RankFailed.
+  void set_fault_plan(const sim::FaultPlan* plan) { fault_plan_ = plan; }
+  const sim::FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Ranks that fail-stopped during the last run(), ascending.
+  std::vector<int> failed_ranks() const;
+
  private:
   friend class Comm;
   friend class Request;
@@ -366,10 +461,21 @@ class World {
   /// failure so the surviving ranks cannot deadlock on a dead peer).
   void poison_mailboxes();
 
+  /// Mark `rank` fail-stopped and wake every blocked take() so waits on the
+  /// dead rank turn into RankFailed instead of hanging (other traffic keeps
+  /// flowing — unlike poison_mailboxes, the world stays alive).
+  void mark_failed(int rank);
+  bool is_failed(int rank) const {
+    return failed_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+
   int size_;
   NetworkParams net_;
   bool log_messages_ = false;
   bool ran_ = false;  // a run() completed; the next run() resets state
+  const sim::FaultPlan* fault_plan_ = nullptr;
+  std::unique_ptr<std::atomic<bool>[]> failed_;  // fail-stopped ranks
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Comm>> comms_;
 };

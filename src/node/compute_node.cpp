@@ -11,6 +11,25 @@ ComputeNode::ComputeNode(NodeParams params, net::VirtualClock& clock,
       trace_(trace),
       name_(std::move(name)) {}
 
+void ComputeNode::set_faults(const sim::FaultPlan* plan, int rank,
+                             sim::FaultStats* stats) {
+  fault_plan_ = plan;
+  fault_rank_ = rank;
+  fault_stats_ = stats;
+}
+
+sim::SimTime ComputeNode::stretched(sim::SimTime start, sim::SimTime dt,
+                                    bool fpga) {
+  if (fault_plan_ == nullptr) return dt;
+  const sim::SimTime out =
+      fault_plan_->stretch_compute(fault_rank_, start, dt, fpga);
+  if (out > dt && fault_stats_ != nullptr) {
+    fault_stats_->slowdown_hits += 1;
+    fault_stats_->slowdown_added_s += out - dt;
+  }
+  return out;
+}
+
 void ComputeNode::cpu_compute(CpuKernel kernel, double flops,
                               const char* label) {
   const sim::SimTime start = clock_.now();
@@ -28,6 +47,7 @@ void ComputeNode::cpu_compute(CpuKernel kernel, double flops,
       dt = window + (dt - work_in_window);  // remainder at full rate
     }
   }
+  dt = stretched(start, dt, /*fpga=*/false);
   clock_.advance(dt);
   cpu_busy_total_ += dt;
   cpu_flops_total_ += flops;
@@ -36,9 +56,11 @@ void ComputeNode::cpu_compute(CpuKernel kernel, double flops,
 }
 
 void ComputeNode::dram_to_fpga(std::uint64_t bytes) {
-  const sim::SimTime dt =
-      static_cast<double>(bytes) / params_.fpga.dram_bytes_per_s;
   const sim::SimTime start = clock_.now();
+  // The processor drives the DRAM stream, so a CPU slowdown stretches it.
+  const sim::SimTime dt = stretched(
+      start, static_cast<double>(bytes) / params_.fpga.dram_bytes_per_s,
+      /*fpga=*/false);
   clock_.advance(dt);
   cpu_busy_total_ += dt;
   if (trace_ != nullptr)
@@ -53,7 +75,8 @@ sim::SimTime ComputeNode::fpga_submit(double cycles, const char* label) {
   ++pending_submissions_;
   const sim::SimTime start =
       clock_.now() > fpga_busy_until_ ? clock_.now() : fpga_busy_until_;
-  const sim::SimTime dt = params_.fpga.seconds_for_cycles(cycles);
+  const sim::SimTime dt =
+      stretched(start, params_.fpga.seconds_for_cycles(cycles), /*fpga=*/true);
   fpga_busy_until_ = start + dt;
   fpga_busy_total_ += dt;
   if (trace_ != nullptr)

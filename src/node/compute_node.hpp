@@ -99,13 +99,27 @@ class ComputeNode {
   /// count of a task; cycles alone cannot recover it for partial tiles).
   void note_fpga_flops(double flops) { fpga_flops_total_ += flops; }
 
+  /// Subject this node to `plan`'s slowdown windows for rank `rank`: CPU and
+  /// FPGA charges overlapping a window are stretched by its factor, with the
+  /// added seconds accounted into `stats` (may be null). The plan must
+  /// outlive the node; nullptr restores nominal rates.
+  void set_faults(const sim::FaultPlan* plan, int rank,
+                  sim::FaultStats* stats);
+
   net::VirtualClock& clock() { return clock_; }
 
  private:
+  /// Apply the fault plan's slowdown windows to a charge of `dt` starting
+  /// at `start` (identity without a plan).
+  sim::SimTime stretched(sim::SimTime start, sim::SimTime dt, bool fpga);
+
   NodeParams params_;
   net::VirtualClock& clock_;
   sim::TraceRecorder* trace_;
   std::string name_;
+  const sim::FaultPlan* fault_plan_ = nullptr;
+  int fault_rank_ = -1;
+  sim::FaultStats* fault_stats_ = nullptr;
   sim::SimTime fpga_busy_until_ = 0.0;
   sim::SimTime cpu_busy_total_ = 0.0;
   sim::SimTime fpga_busy_total_ = 0.0;

@@ -4,6 +4,9 @@
 // the factored/closure outputs must be exactly equal — the pool accelerates
 // wall-clock only, never the virtual clocks.
 
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.hpp"
@@ -11,11 +14,14 @@
 #include "core/lu_functional.hpp"
 #include "graph/generate.hpp"
 #include "linalg/generate.hpp"
+#include "sim/faults.hpp"
+#include "sim/trace.hpp"
 
 namespace core = rcs::core;
 namespace common = rcs::common;
 namespace la = rcs::linalg;
 namespace gr = rcs::graph;
+namespace sim = rcs::sim;
 
 namespace {
 
@@ -119,6 +125,102 @@ TEST(Determinism, LookaheadScheduleIsReproducible) {
       EXPECT_EQ(fw_res.overlap.at(ph).hidden_s, os.hidden_s) << ph;
       EXPECT_EQ(fw_res.overlap.at(ph).total_s, os.total_s) << ph;
     }
+  }
+  common::ThreadPool::set_global_threads(1);
+}
+
+// Faulted runs must replay byte-identically: the same FaultPlan seed gives
+// the same injections, the same recoveries, the same simulated trace, and
+// bit-identical outputs — across repeated runs and across pool sizes.
+TEST(Determinism, FaultPlanReplayIsByteIdentical) {
+  const la::Matrix a = la::diagonally_dominant(64, 1234);
+  const la::Matrix d0 = gr::random_digraph(64, 4321, 0.4);
+
+  // A plan exercising every event class the functional planes inject
+  // (slowdowns, degraded links, bit-flips) — no crashes, so the runs
+  // complete and their outputs can be compared.
+  sim::FaultSpec spec;
+  spec.ranks = 3;
+  spec.seed = 99;
+  spec.horizon_s = 0.5;
+  spec.slowdown_windows = 2;
+  spec.link_faults = 2;
+  spec.link_extra_latency_max_s = 1e-3;
+  spec.link_jitter_max_s = 1e-4;
+  spec.bitflips = 3;
+  spec.bitflip_max_call = 8;
+  const sim::FaultPlan plan = sim::FaultPlan::generate(spec);
+  // Regenerating from the same spec gives the same plan (seeded sampling).
+  const sim::FaultPlan replay = sim::FaultPlan::generate(spec);
+  ASSERT_EQ(replay.bitflip_count(), plan.bitflip_count());
+  for (std::size_t i = 0; i < plan.bitflips().size(); ++i) {
+    EXPECT_EQ(replay.bitflips()[i].rank, plan.bitflips()[i].rank);
+    EXPECT_EQ(replay.bitflips()[i].call, plan.bitflips()[i].call);
+    EXPECT_EQ(replay.bitflips()[i].bit, plan.bitflips()[i].bit);
+  }
+
+  core::LuConfig lu;
+  lu.n = 64;
+  lu.b = 16;
+  lu.mode = core::DesignMode::Hybrid;
+  lu.faults = &plan;
+  lu.fault_tolerance = true;
+  lu.straggler_timeout_s = 10.0;
+
+  core::FwConfig fw;
+  fw.n = 64;
+  fw.b = 16;
+  fw.mode = core::DesignMode::Hybrid;
+  fw.faults = &plan;
+  fw.fault_tolerance = true;
+
+  const auto trace_csv = [](sim::TraceRecorder& rec) {
+    std::ostringstream os;
+    rec.write_csv(os);
+    return os.str();
+  };
+
+  common::ThreadPool::set_global_threads(1);
+  sim::TraceRecorder lu_rec(true);
+  const auto lu_ref = core::lu_functional(xd1_p(3), lu, a, false, &lu_rec);
+  const std::string lu_trace = trace_csv(lu_rec);
+  sim::TraceRecorder fw_rec(true);
+  const auto fw_ref = core::fw_functional(xd1_p(2), fw, d0, false, &fw_rec);
+  const std::string fw_trace = trace_csv(fw_rec);
+
+  for (int threads : {1, 2, 7}) {
+    common::ThreadPool::set_global_threads(threads);
+
+    sim::TraceRecorder rec(true);
+    const auto res = core::lu_functional(xd1_p(3), lu, a, false, &rec);
+    EXPECT_EQ(res.run.seconds, lu_ref.run.seconds) << "threads=" << threads;
+    EXPECT_TRUE(la::bit_equal(res.factored.view(), lu_ref.factored.view()))
+        << "threads=" << threads;
+    EXPECT_EQ(trace_csv(rec), lu_trace) << "threads=" << threads;
+    // Fault accounting is part of the replay contract.
+    EXPECT_EQ(res.faults.bitflips_injected, lu_ref.faults.bitflips_injected);
+    EXPECT_EQ(res.faults.slowdown_hits, lu_ref.faults.slowdown_hits);
+    EXPECT_EQ(res.faults.slowdown_added_s, lu_ref.faults.slowdown_added_s);
+    EXPECT_EQ(res.faults.link_hits, lu_ref.faults.link_hits);
+    EXPECT_EQ(res.faults.link_added_s, lu_ref.faults.link_added_s);
+    EXPECT_EQ(res.faults.detected, lu_ref.faults.detected);
+    EXPECT_EQ(res.faults.corrected_elements, lu_ref.faults.corrected_elements);
+    EXPECT_EQ(res.faults.reissued_blocks, lu_ref.faults.reissued_blocks);
+    EXPECT_EQ(res.faults.straggler_reissues, lu_ref.faults.straggler_reissues);
+    EXPECT_EQ(res.faults.recovery_cpu_s, lu_ref.faults.recovery_cpu_s);
+    EXPECT_EQ(res.faults.mttr_s, lu_ref.faults.mttr_s);
+
+    sim::TraceRecorder frec(true);
+    const auto fres = core::fw_functional(xd1_p(2), fw, d0, false, &frec);
+    EXPECT_EQ(fres.run.seconds, fw_ref.run.seconds) << "threads=" << threads;
+    EXPECT_TRUE(la::bit_equal(fres.distances.view(), fw_ref.distances.view()))
+        << "threads=" << threads;
+    EXPECT_EQ(trace_csv(frec), fw_trace) << "threads=" << threads;
+    EXPECT_EQ(fres.faults.bitflips_injected, fw_ref.faults.bitflips_injected);
+    EXPECT_EQ(fres.faults.detected, fw_ref.faults.detected);
+    EXPECT_EQ(fres.faults.reissued_blocks, fw_ref.faults.reissued_blocks);
+    EXPECT_EQ(fres.faults.recovery_cpu_s, fw_ref.faults.recovery_cpu_s);
+    EXPECT_EQ(fres.faults.mttr_s, fw_ref.faults.mttr_s);
   }
   common::ThreadPool::set_global_threads(1);
 }

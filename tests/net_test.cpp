@@ -2,6 +2,7 @@
 // semantics (§4.3 accounting), determinism, and the matrix channel.
 
 #include <atomic>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,8 +10,10 @@
 #include "linalg/generate.hpp"
 #include "net/matrix_channel.hpp"
 #include "net/minimpi.hpp"
+#include "sim/faults.hpp"
 
 namespace net = rcs::net;
+namespace sim = rcs::sim;
 using rcs::linalg::Matrix;
 
 namespace {
@@ -356,8 +359,8 @@ TEST(MiniMpiIrecv, DeliversAndAdvancesClock) {
       EXPECT_NEAR(m.arrival, 1.0, 1e-9);
       // The wait advanced the receiver to the arrival, like a blocking recv.
       EXPECT_NEAR(comm.clock().now(), 1.0, 1e-9);
-      // The request is consumed.
-      EXPECT_FALSE(req.valid());
+      // The completed request stays valid: wait() is idempotent.
+      EXPECT_TRUE(req.valid());
     }
   });
 }
@@ -561,6 +564,272 @@ TEST(MiniMpi, RunAfterFailureRecovers) {
       EXPECT_EQ(comm.recv(0, 1).as<int>(), 7);
     }
   });
+}
+
+// --- Argument validation ---------------------------------------------------
+
+// Point-to-point operations must reject out-of-range ranks, self-messaging,
+// and reserved (negative) user tags with a descriptive Error instead of
+// indexing mailboxes out of bounds.
+TEST(MiniMpi, ValidatesRanksAndTags) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() != 0) return;
+    const double v = 1.0;
+    EXPECT_THROW(comm.send_doubles(2, 1, &v, 1), rcs::Error);   // dst too big
+    EXPECT_THROW(comm.send_doubles(-1, 1, &v, 1), rcs::Error);  // dst negative
+    EXPECT_THROW(comm.send_doubles(0, 1, &v, 1), rcs::Error);   // self-send
+    EXPECT_THROW(comm.send_doubles(1, -5, &v, 1), rcs::Error);  // reserved tag
+    EXPECT_THROW(comm.isend_bytes(1, -1, &v, 8), rcs::Error);
+    EXPECT_THROW(comm.recv(7, 1), rcs::Error);
+    EXPECT_THROW(comm.recv(0, 1), rcs::Error);  // self-receive
+    EXPECT_THROW(comm.recv(1, -2), rcs::Error);
+    EXPECT_THROW(comm.irecv(1, -2), rcs::Error);
+    bool timed_out = false;
+    EXPECT_THROW(comm.recv_deadline(3, 1, 1.0, &timed_out), rcs::Error);
+    // None of the rejected calls may have charged the clock or sent bytes.
+    EXPECT_DOUBLE_EQ(comm.clock().now(), 0.0);
+    EXPECT_EQ(comm.bytes_sent(), 0u);
+  });
+}
+
+// --- Request lifecycle -----------------------------------------------------
+
+TEST(MiniMpiIrecv, WaitIsIdempotent) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 4, 99);
+      return;
+    }
+    net::Request req = comm.irecv(0, 4);
+    const net::Message first = req.wait();
+    EXPECT_EQ(first.as<int>(), 99);
+    EXPECT_TRUE(req.valid());  // completed requests stay valid
+    EXPECT_TRUE(req.test());   // test after completion reports true
+    const double t_after = comm.clock().now();
+    const net::Message again = req.wait();  // second wait: cached copy
+    EXPECT_EQ(again.as<int>(), 99);
+    EXPECT_EQ(again.src, first.src);
+    EXPECT_DOUBLE_EQ(comm.clock().now(), t_after);  // no further clock effect
+  });
+}
+
+TEST(MiniMpiIrecv, MovedFromRequestIsInert) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 4, 42);
+      return;
+    }
+    net::Request req = comm.irecv(0, 4);
+    net::Request moved = std::move(req);
+    EXPECT_FALSE(req.valid());  // NOLINT(bugprone-use-after-move): the point
+    EXPECT_FALSE(req.test());
+    EXPECT_THROW(req.wait(), rcs::Error);
+    EXPECT_EQ(moved.wait().as<int>(), 42);
+    // Moving a completed request carries the cached message along.
+    net::Request adopted = std::move(moved);
+    EXPECT_TRUE(adopted.test());
+    EXPECT_EQ(adopted.wait().as<int>(), 42);
+  });
+  // An empty (default-constructed) request behaves like a moved-from one.
+  net::Request empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.test());
+  EXPECT_THROW(empty.wait(), rcs::Error);
+}
+
+// --- Deadline receives -----------------------------------------------------
+
+TEST(MiniMpiDeadline, InTimeMessageBehavesLikeRecv) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 3, 5);
+      return;
+    }
+    bool timed_out = true;
+    const net::Message m = comm.recv_deadline(0, 3, 2.0, &timed_out);
+    EXPECT_FALSE(timed_out);
+    EXPECT_EQ(m.as<int>(), 5);
+    EXPECT_EQ(comm.fault_stats().straggler_timeouts, 0u);
+  });
+}
+
+// A late arrival: the receiver's clock stops exactly at the deadline (not at
+// the straggler's arrival) and the drained late payload is still returned so
+// the caller can use it for diagnostics.
+TEST(MiniMpiDeadline, TimeoutStopsClockAtDeadline) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.clock().advance(5.0);  // busy: the send departs late
+      comm.send_value(1, 3, 77);
+      return;
+    }
+    bool timed_out = false;
+    const net::Message m = comm.recv_deadline(0, 3, 1.0, &timed_out);
+    EXPECT_TRUE(timed_out);
+    EXPECT_DOUBLE_EQ(comm.clock().now(), 1.0);
+    EXPECT_EQ(m.as<int>(), 77);  // late message is drained, not re-queued
+    EXPECT_EQ(comm.fault_stats().straggler_timeouts, 1u);
+  });
+}
+
+// Retry/backoff deadline math: timeout 1.0 with backoff 2.0 grants deadlines
+// 1.0, then 3.0, then 7.0. An arrival at 2.5 is caught by the first retry.
+TEST(MiniMpiDeadline, RetryExtensionCatchesLateMessage) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.clock().advance(2.5);
+      comm.send_value(1, 3, 9);
+      return;
+    }
+    bool gave_up = true;
+    const net::Message m = comm.recv_retry(0, 3, 1.0, 2, 2.0, &gave_up);
+    EXPECT_FALSE(gave_up);
+    EXPECT_EQ(m.as<int>(), 9);
+    // Clock at the arrival: depart 2.5 plus the 4-byte wire time.
+    EXPECT_DOUBLE_EQ(comm.clock().now(), 2.5 + 4.0 / 1e9);
+  });
+}
+
+// An arrival past every extension: the receiver exhausts the whole budget
+// and its clock lands on the final extended deadline (7.0).
+TEST(MiniMpiDeadline, RetryGivesUpAfterFullBudget) {
+  net::World world(2, fast_net());
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.clock().advance(20.0);
+      comm.send_value(1, 3, 9);
+      return;
+    }
+    bool gave_up = false;
+    const net::Message m = comm.recv_retry(0, 3, 1.0, 2, 2.0, &gave_up);
+    EXPECT_TRUE(gave_up);
+    EXPECT_DOUBLE_EQ(comm.clock().now(), 7.0);  // 1.0 + 2.0 + 4.0
+    EXPECT_EQ(m.as<int>(), 9);  // drained late payload still returned
+    EXPECT_GE(comm.fault_stats().straggler_timeouts, 1u);
+  });
+}
+
+// --- Fault plans: crashes and link degradation -----------------------------
+
+// A crashed rank's RankFailed propagates out of World::run when no one
+// handles it, and the failure is distinct from WorldAborted.
+TEST(MiniMpiFaults, UncaughtCrashPropagatesRankFailed) {
+  sim::FaultPlan plan(1);
+  plan.add_crash({0, 1.0});
+  net::World world(2, fast_net());
+  world.set_fault_plan(&plan);
+  try {
+    world.run([](net::Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.clock().advance(2.0);     // sail past the crash time...
+        comm.send_value(1, 1, 7);      // ...and die at the first comm op
+        ADD_FAILURE() << "rank 0 should have fail-stopped";
+      } else {
+        comm.recv(0, 1);  // peer died: RankFailed escapes unhandled
+      }
+    });
+    FAIL() << "expected RankFailed to propagate";
+  } catch (const net::RankFailed& rf) {
+    EXPECT_EQ(rf.rank, 0);
+  }
+  EXPECT_EQ(world.failed_ranks(), std::vector<int>{0});
+}
+
+// Survivors that catch RankFailed (or use deadline receives) let the run
+// complete normally — graceful degradation instead of a world abort.
+TEST(MiniMpiFaults, CaughtCrashLetsSurvivorsFinish) {
+  sim::FaultPlan plan(1);
+  plan.add_crash({0, 1.0});
+  net::World world(2, fast_net());
+  world.set_fault_plan(&plan);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.clock().advance(2.0);
+      EXPECT_THROW(comm.send_value(1, 1, 7), net::RankFailed);
+      EXPECT_EQ(comm.fault_stats().crashes, 1u);
+      return;  // the dead rank stops participating
+    }
+    bool timed_out = false;
+    const net::Message m = comm.recv_deadline(0, 1, 0.5, &timed_out);
+    EXPECT_TRUE(timed_out);
+    EXPECT_TRUE(m.payload.empty());  // peer died without sending
+    EXPECT_EQ(m.src, -1);
+    EXPECT_DOUBLE_EQ(comm.clock().now(), 0.5);
+  });
+  EXPECT_EQ(world.failed_ranks(), std::vector<int>{0});
+  // Clearing the plan restores a fault-free, reusable world.
+  world.set_fault_plan(nullptr);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, 8);
+    } else {
+      EXPECT_EQ(comm.recv(0, 1).as<int>(), 8);
+    }
+  });
+  EXPECT_TRUE(world.failed_ranks().empty());
+}
+
+// Link degradation is deterministic and exactly reflects the plan: halving
+// the bandwidth doubles the (latency-free) transfer time, and replaying the
+// same plan reproduces the same makespan bit-for-bit.
+TEST(MiniMpiFaults, LinkFaultDegradesDeterministically) {
+  sim::LinkFault lf;
+  lf.src = 0;
+  lf.dst = 1;
+  lf.begin = 0.0;
+  lf.end = 100.0;
+  lf.bw_factor = 0.5;
+  sim::FaultPlan plan(7);
+  plan.add_link_fault(lf);
+
+  const auto makespan = [](const sim::FaultPlan* p) {
+    net::World world(2, fast_net());
+    world.set_fault_plan(p);
+    std::uint64_t link_hits = 0;
+    world.run([&](net::Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<double> big(1'000'000 / 8, 1.0);  // 1 MB -> 1 ms nominal
+        comm.send_doubles(1, 2, big.data(), big.size());
+        link_hits = comm.fault_stats().link_hits;
+      } else {
+        comm.recv(0, 2);
+      }
+    });
+    EXPECT_EQ(link_hits, p != nullptr ? 1u : 0u);
+    return world.makespan();
+  };
+
+  const double clean = makespan(nullptr);
+  const double faulty = makespan(&plan);
+  EXPECT_DOUBLE_EQ(faulty, makespan(&plan));  // byte-identical replay
+  EXPECT_DOUBLE_EQ(faulty, 2.0 * clean);      // bw_factor 0.5, no jitter
+}
+
+// Zero-cost default: an installed-but-empty plan (and no plan at all) leave
+// the timing of a run bit-identical.
+TEST(MiniMpiFaults, EmptyPlanIsZeroCost) {
+  const auto makespan = [](const sim::FaultPlan* p) {
+    net::World world(2, fast_net());
+    world.set_fault_plan(p);
+    world.run([](net::Comm& comm) {
+      if (comm.rank() == 0) {
+        std::vector<double> big(1'000'000 / 8, 1.0);
+        comm.send_doubles(1, 2, big.data(), big.size());
+      } else {
+        comm.recv(0, 2);
+        comm.clock().advance(0.25);
+      }
+    });
+    return world.makespan();
+  };
+  sim::FaultPlan empty(3);
+  EXPECT_DOUBLE_EQ(makespan(nullptr), makespan(&empty));
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "core/system.hpp"
 #include "fparith/ieee754.hpp"
+#include "fpga/matmul_array.hpp"
 #include "fpga/pe_cycle_sim.hpp"
 #include "graph/floyd_warshall.hpp"
 #include "graph/generate.hpp"
@@ -14,6 +16,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/getrf.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/sparse.hpp"
 
 using namespace rcs;
@@ -63,6 +66,52 @@ void BM_GemmPacked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmPacked)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+
+// The streamed MatMulArray FPGA emulation (NativeFp path through the packed
+// engine). n = 1024 exactly fills the xc2vp50's SRAM result tile (1M words),
+// the paper's headline operating point.
+void BM_MatMulArrayEmulation(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const fpga::MatMulArray array(core::SystemParams::cray_xd1().mm_fpga);
+  linalg::Matrix c = linalg::random_matrix(n, n, 3);
+  linalg::Matrix d = linalg::random_matrix(n, n, 4);
+  linalg::Matrix e(n, n);
+  for (auto _ : state) {
+    array.multiply_accumulate(c.view(), d.view(), e.view());
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulArrayEmulation)->Arg(512)->Arg(1024);
+
+// Raw microkernel A/B: one 8x8 register tile against packed micropanels,
+// per dispatch level. Isolates the SIMD win from packing and pool effects;
+// levels the CPU lacks are skipped.
+void BM_MicroKernel(benchmark::State& state) {
+  const auto level = static_cast<linalg::simd::Level>(state.range(0));
+  if (!linalg::simd::level_supported(level)) {
+    state.SkipWithError("SIMD level not supported on this CPU");
+    return;
+  }
+  const linalg::simd::MicroKernelFn kern = linalg::simd::micro_kernel(level);
+  constexpr std::size_t kc = 256;
+  Rng rng(23);
+  std::vector<double> ap(kc * linalg::simd::kMR), bp(kc * linalg::simd::kNR);
+  for (auto& v : ap) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : bp) v = rng.uniform(-1.0, 1.0);
+  double acc[linalg::simd::kMR * linalg::simd::kNR] = {0.0};
+  for (auto _ : state) {
+    kern(kc, ap.data(), bp.data(), acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kc *
+                          linalg::simd::kMR * linalg::simd::kNR);
+  state.SetLabel(linalg::simd::level_name(level));
+}
+BENCHMARK(BM_MicroKernel)
+    ->Arg(static_cast<int>(linalg::simd::Level::Scalar))
+    ->Arg(static_cast<int>(linalg::simd::Level::Avx2))
+    ->Arg(static_cast<int>(linalg::simd::Level::Avx512));
 
 void BM_GetrfBlocked(benchmark::State& state) {
   const std::size_t n = state.range(0);

@@ -69,4 +69,31 @@ inline void parallel_for(
   ThreadPool::global().parallel_for(begin, end, grain, body);
 }
 
+/// Floor on the useful work per chunk: dispatching one chunk costs a few
+/// microseconds (queue mutex, cv wake, two atomics), so bodies cheaper than
+/// ~20 us per chunk spend more time in the pool than in the kernel — the
+/// queue-wait lane dwarfs the busy lane in the trace. Callers size `grain`
+/// with grain_for_cost so small jobs degrade toward serial instead.
+inline constexpr double kMinChunkNs = 20'000.0;
+
+/// Minimum-grain heuristic: the smallest items-per-chunk such that one chunk
+/// amounts to at least `min_chunk_ns` of estimated work. Feed the result to
+/// parallel_for as `grain`; jobs whose whole range is below the floor then
+/// run serially (no enqueue, no wake) by the existing max_chunks logic.
+inline std::size_t grain_for_cost(double ns_per_item,
+                                  double min_chunk_ns = kMinChunkNs) {
+  if (ns_per_item <= 0.0) return 1;
+  const double g = min_chunk_ns / ns_per_item;
+  if (g <= 1.0) return 1;
+  if (g >= 1e9) return static_cast<std::size_t>(1e9);
+  return static_cast<std::size_t>(g);
+}
+
+/// grain_for_cost with cost expressed in flops, at a nominal ~20 GFLOP/s
+/// single-thread rate (0.05 ns/flop) — the right order of magnitude for the
+/// post-SIMD dense kernels this repo runs.
+inline std::size_t grain_for_flops(double flops_per_item) {
+  return grain_for_cost(flops_per_item * 0.05);
+}
+
 }  // namespace rcs::common

@@ -1,13 +1,30 @@
 #include "fpga/matmul_array.hpp"
 
+#include <type_traits>
+
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "linalg/gemm_kernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace rcs::fpga {
 
 namespace {
+
+/// Products below this (m * inner * n) stay on the simple row loop: the
+/// streamed pipeline's packing traffic only pays off once the operands stop
+/// fitting in L2. Matches the host gemm's small-product fallback.
+constexpr std::size_t kStreamThreshold = 48 * 48 * 48;
+
+/// Estimated nanoseconds one emulated MAC costs on the scalar row loop, for
+/// the pool's minimum-grain heuristic. The soft-float cores do field
+/// extraction, alignment, and rounding in integer code — two orders of
+/// magnitude above a native fused load-mul-add.
+template <typename Backend>
+constexpr double mac_ns() {
+  return std::is_same_v<Backend, fparith::SoftFp> ? 100.0 : 1.0;
+}
 
 /// Telemetry for the emulated PE array. `stall_cycles` estimates the PE
 /// slots the systolic schedule would leave idle on ragged tiles: the cycle
@@ -74,20 +91,36 @@ void MatMulArray::mac_impl(Span2D<const double> c, Span2D<const double> d,
   obs::ScopedTimer span("mm", "fpga");
   if (obs::metrics_enabled()) note_call(e.rows(), c.cols(), e.cols());
   // Dot products accumulate in ascending inner-index order, exactly like the
-  // streaming PEs (and the host gemm). Result rows are independent, so the
-  // emulation parallelizes over them on the shared pool without changing any
-  // entry's accumulation order (bit-identical at every thread count).
-  common::parallel_for(0, e.rows(), 1, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      for (std::size_t j = 0; j < e.cols(); ++j) {
-        double acc = e(i, j);
-        for (std::size_t l = 0; l < c.cols(); ++l) {
-          acc = Backend::mac(acc, c(i, l), d(l, j));
+  // streaming PEs (and the host gemm), so every path below yields identical
+  // bits at any thread count.
+  //
+  // Native path, large product: stream through the packed engine — C-row
+  // strips and D micropanels are packed into contiguous scratch on the pool
+  // (the read stage), the dispatched SIMD microkernel accumulates (compute),
+  // and each result strip is written back per tile (write). NativeFp::mac is
+  // an unfused a*b then add, the same operation the engine performs.
+  if (std::is_same_v<Backend, fparith::NativeFp> &&
+      e.rows() * e.cols() * c.cols() > kStreamThreshold) {
+    linalg::detail::gemm_packed_engine(c, d, e, /*b_transposed=*/false);
+  } else {
+    // Soft-float cores (or tiny tiles): plain row loop; the grain heuristic
+    // keeps cheap calls serial instead of paying chunk dispatch.
+    const std::size_t grain = common::grain_for_cost(
+        mac_ns<Backend>() * static_cast<double>(c.cols()) *
+        static_cast<double>(e.cols()));
+    common::parallel_for(0, e.rows(), grain,
+                         [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = 0; j < e.cols(); ++j) {
+          double acc = e(i, j);
+          for (std::size_t l = 0; l < c.cols(); ++l) {
+            acc = Backend::mac(acc, c(i, l), d(l, j));
+          }
+          e(i, j) = acc;
         }
-        e(i, j) = acc;
       }
-    }
-  });
+    });
+  }
   run_fault_hook(e);
 }
 
@@ -131,17 +164,28 @@ void MatMulArray::mac_nt_impl(Span2D<const double> c, Span2D<const double> d,
                "matmul-nt result tile");
   obs::ScopedTimer span("mm_nt", "fpga");
   if (obs::metrics_enabled()) note_call(e.rows(), c.cols(), e.cols());
-  common::parallel_for(0, e.rows(), 1, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      for (std::size_t j = 0; j < e.cols(); ++j) {
-        double acc = e(i, j);
-        for (std::size_t l = 0; l < c.cols(); ++l) {
-          acc = Backend::mac(acc, c(i, l), d(j, l));
+  // Same streamed/scalar split as mac_impl; the engine packs D's rows as
+  // micropanels (its native NT form), preserving ascending-l accumulation.
+  if (std::is_same_v<Backend, fparith::NativeFp> &&
+      e.rows() * e.cols() * c.cols() > kStreamThreshold) {
+    linalg::detail::gemm_packed_engine(c, d, e, /*b_transposed=*/true);
+  } else {
+    const std::size_t grain = common::grain_for_cost(
+        mac_ns<Backend>() * static_cast<double>(c.cols()) *
+        static_cast<double>(e.cols()));
+    common::parallel_for(0, e.rows(), grain,
+                         [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        for (std::size_t j = 0; j < e.cols(); ++j) {
+          double acc = e(i, j);
+          for (std::size_t l = 0; l < c.cols(); ++l) {
+            acc = Backend::mac(acc, c(i, l), d(j, l));
+          }
+          e(i, j) = acc;
         }
-        e(i, j) = acc;
       }
-    }
-  });
+    });
+  }
   run_fault_hook(e);
 }
 

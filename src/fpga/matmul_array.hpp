@@ -13,9 +13,14 @@
 //
 // Functionally, each output element accumulates its dot product in ascending
 // inner-index order — the same order as the host gemm — so CPU-computed and
-// FPGA-computed partitions of a hybrid product are bit-consistent. The
-// emulation runs result rows in parallel on the shared common::ThreadPool;
-// per-entry order is untouched, so outputs are identical at any RCS_THREADS.
+// FPGA-computed partitions of a hybrid product are bit-consistent. Large
+// native-FP products stream through the packed GEMM engine (operand strips
+// packed into contiguous scratch on the shared common::ThreadPool, computed
+// with the runtime-dispatched SIMD microkernel, written back per result
+// strip — the emulation's read -> compute -> write pipeline); soft-float and
+// small products keep a plain row loop. Per-entry accumulation order is the
+// same on every path, so outputs are identical at any RCS_THREADS and on
+// every RCS_SIMD dispatch path.
 
 #include <cstdint>
 #include <functional>

@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "linalg/gemm_kernel.hpp"
+#include "linalg/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -64,118 +66,69 @@ void gemm_tiled(Span2D<const double> a, Span2D<const double> b,
   }
 }
 
-namespace {
-
-// Packed register-blocked gemm in the BLIS mold: B is packed once per
-// (column panel, k panel) into NR-wide micropanels, each row tile packs its
-// A strip into MR-tall micropanels, and an MR x NR block of C accumulates in
-// registers while one column of A and one row of B stream past per inner
-// step.
+// ---------------------------------------------------------------------------
+// Packed register-blocked engine in the BLIS mold, shared by gemm, gemm_nt,
+// and the FPGA MatMulArray emulation (see gemm_kernel.hpp for the layouts).
 //
 // Bit-exactness: every C entry is updated as acc += a * b with the inner
 // index l strictly ascending — within a microkernel call because the l loop
-// is the outer loop, and across k panels because panels are visited in
-// ascending order and C is reloaded/stored per panel. No reassociation, no
-// FMA (-ffp-contract=off), so the result equals gemm_naive bit-for-bit at
-// any thread count.
-constexpr std::size_t MR = 8;    // rows of C per microkernel call
-constexpr std::size_t NR = 8;    // cols of C per microkernel call
-constexpr std::size_t KC = 256;  // k extent of a packed panel
-constexpr std::size_t NC = 512;  // column extent of a packed B panel
-constexpr std::size_t MC = 64;   // rows per parallel i-tile
+// is the outer loop, and across k-chunks because each i-tile task visits
+// them in ascending order and C is reloaded/stored per chunk. No
+// reassociation, no FMA (-ffp-contract=off; the explicit-ISA kernels in
+// simd.cpp use separate mul/add instructions), so the result equals
+// gemm_naive bit-for-bit at any thread count on every dispatch path.
+//
+// Parallel structure (per NC-column slab):
+//   stage 1 — the B micropanels of EVERY k-chunk are packed cooperatively
+//             on the pool (one parallel region over (k-chunk, j-panel)
+//             units) instead of serially on the calling thread;
+//   stage 2 — one fused parallel region over MC-row i-tiles; each task
+//             sweeps k-chunks in ascending order, packing its A strip into
+//             per-thread scratch and running the dispatched microkernel.
+// This replaces the old per-(j0, k0) fork/join — 2 regions per slab instead
+// of ceil(k/KC) + serial packing on the caller between every join.
 
-#if defined(__GNUC__) || defined(__clang__)
-#define RCS_GEMM_VECTOR_EXT 1
-/// One full C-microtile row: NR = 8 doubles. On AVX-512 this is one zmm; on
-/// narrower ISAs the compiler synthesizes it from smaller registers, and on
-/// compilers without the extension we fall back to the scalar loop below.
-typedef double v8df __attribute__((vector_size(8 * sizeof(double))));
-#endif
+namespace detail {
 
-/// acc[ir][jr] += sum over l of ap[l, ir] * bp[l, jr], l ascending.
-/// Vector lanes are per-entry IEEE mul/add (no FMA: -ffp-contract=off), so
-/// the vector and scalar paths — and gemm_naive — agree bit-for-bit.
-inline void micro_kernel(std::size_t kc, const double* ap, const double* bp,
-                         double* acc) {
-#ifdef RCS_GEMM_VECTOR_EXT
-  v8df r[MR];
-  for (std::size_t ir = 0; ir < MR; ++ir) {
-    std::memcpy(&r[ir], acc + ir * NR, sizeof(v8df));
-  }
-  for (std::size_t l = 0; l < kc; ++l) {
-    v8df bv;
-    std::memcpy(&bv, bp + l * NR, sizeof(v8df));
-    const double* arow = ap + l * MR;
-    for (std::size_t ir = 0; ir < MR; ++ir) {
-      const double a = arow[ir];
-      const v8df av = {a, a, a, a, a, a, a, a};
-      r[ir] += av * bv;
-    }
-  }
-  for (std::size_t ir = 0; ir < MR; ++ir) {
-    std::memcpy(acc + ir * NR, &r[ir], sizeof(v8df));
-  }
-#else
-  for (std::size_t l = 0; l < kc; ++l) {
-    const double* arow = ap + l * MR;
-    const double* brow = bp + l * NR;
-    for (std::size_t ir = 0; ir < MR; ++ir) {
-      const double av = arow[ir];
-      double* row = acc + ir * NR;
-      for (std::size_t jr = 0; jr < NR; ++jr) row[jr] += av * brow[jr];
-    }
-  }
-#endif
+namespace {
+constexpr std::size_t MR = simd::kMR;
+constexpr std::size_t NR = simd::kNR;
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
 }
 
-/// Run the microkernel against the (possibly ragged) mr x nr corner of C at
-/// (i0, j0): load the live entries, accumulate, store them back.
-void micro_tile(std::size_t kc, const double* ap, const double* bp,
-                Span2D<double> c, std::size_t i0, std::size_t j0,
-                std::size_t mr, std::size_t nr) {
-  double acc[MR * NR];
-  if (mr == MR && nr == NR) {
-    for (std::size_t ir = 0; ir < MR; ++ir) {
-      std::memcpy(acc + ir * NR, c.row(i0 + ir) + j0, NR * sizeof(double));
-    }
-    micro_kernel(kc, ap, bp, acc);
-    for (std::size_t ir = 0; ir < MR; ++ir) {
-      std::memcpy(c.row(i0 + ir) + j0, acc + ir * NR, NR * sizeof(double));
-    }
-    return;
-  }
-  std::fill(acc, acc + MR * NR, 0.0);
-  for (std::size_t ir = 0; ir < mr; ++ir) {
-    for (std::size_t jr = 0; jr < nr; ++jr) acc[ir * NR + jr] = c(i0 + ir, j0 + jr);
-  }
-  micro_kernel(kc, ap, bp, acc);
-  for (std::size_t ir = 0; ir < mr; ++ir) {
-    for (std::size_t jr = 0; jr < nr; ++jr) c(i0 + ir, j0 + jr) = acc[ir * NR + jr];
-  }
-}
+/// Per-thread pack scratch, reused across calls to avoid allocator churn
+/// inside the parallel region. bpack belongs to the calling thread (workers
+/// write into it through the captured reference during cooperative packing,
+/// which is safe: parallel_for completion orders those writes before every
+/// later read); apack belongs to whichever pool thread runs the i-tile.
+thread_local std::vector<double> tls_apack;
+thread_local std::vector<double> tls_bpack;
+}  // namespace
 
-/// Pack b.block(k0.., j0..) into NR-wide micropanels, zero-padding the
-/// ragged last panel so the microkernel always reads NR values per step.
-void pack_b_panel(Span2D<const double> b, std::size_t k0, std::size_t kc,
-                  std::size_t j0, std::size_t nc, std::vector<double>& bp) {
-  const std::size_t npanels = (nc + NR - 1) / NR;
-  bp.assign(npanels * kc * NR, 0.0);
-  for (std::size_t jp = 0; jp < npanels; ++jp) {
-    double* panel = bp.data() + jp * kc * NR;
-    const std::size_t j = j0 + jp * NR;
-    const std::size_t w = std::min(NR, j0 + nc - j);
+void pack_b_micropanel(Span2D<const double> b, bool transposed,
+                       std::size_t k0, std::size_t kc, std::size_t j,
+                       std::size_t w, double* panel) {
+  if (!transposed) {
     for (std::size_t l = 0; l < kc; ++l) {
       const double* brow = b.row(k0 + l) + j;
-      for (std::size_t jr = 0; jr < w; ++jr) panel[l * NR + jr] = brow[jr];
+      double* prow = panel + l * NR;
+      for (std::size_t jr = 0; jr < w; ++jr) prow[jr] = brow[jr];
+      for (std::size_t jr = w; jr < NR; ++jr) prow[jr] = 0.0;
+    }
+  } else {
+    std::fill(panel, panel + kc * NR, 0.0);
+    for (std::size_t jr = 0; jr < w; ++jr) {
+      const double* brow = b.row(j + jr) + k0;
+      for (std::size_t l = 0; l < kc; ++l) panel[l * NR + jr] = brow[l];
     }
   }
 }
 
-/// Pack a.block(i0.., k0..) into MR-tall micropanels (column-major inside a
-/// strip so the microkernel broadcasts MR contiguous values per step).
 void pack_a_tile(Span2D<const double> a, std::size_t i0, std::size_t mc,
                  std::size_t k0, std::size_t kc, std::vector<double>& ap) {
-  const std::size_t nstrips = (mc + MR - 1) / MR;
+  const std::size_t nstrips = ceil_div(mc, MR);
   ap.assign(nstrips * kc * MR, 0.0);
   for (std::size_t ip = 0; ip < nstrips; ++ip) {
     double* strip = ap.data() + ip * kc * MR;
@@ -188,11 +141,104 @@ void pack_a_tile(Span2D<const double> a, std::size_t i0, std::size_t mc,
   }
 }
 
-/// Per-thread A-pack scratch: reused across calls to avoid allocator churn
-/// inside the parallel region.
-thread_local std::vector<double> tls_apack;
+void micro_tile(simd::MicroKernelFn kern, std::size_t kc, const double* ap,
+                const double* bp, Span2D<double> c, std::size_t i0,
+                std::size_t j0, std::size_t mr, std::size_t nr) {
+  double acc[MR * NR];
+  if (mr == MR && nr == NR) {
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      std::memcpy(acc + ir * NR, c.row(i0 + ir) + j0, NR * sizeof(double));
+    }
+    kern(kc, ap, bp, acc);
+    for (std::size_t ir = 0; ir < MR; ++ir) {
+      std::memcpy(c.row(i0 + ir) + j0, acc + ir * NR, NR * sizeof(double));
+    }
+    return;
+  }
+  std::fill(acc, acc + MR * NR, 0.0);
+  for (std::size_t ir = 0; ir < mr; ++ir) {
+    for (std::size_t jr = 0; jr < nr; ++jr) acc[ir * NR + jr] = c(i0 + ir, j0 + jr);
+  }
+  kern(kc, ap, bp, acc);
+  for (std::size_t ir = 0; ir < mr; ++ir) {
+    for (std::size_t jr = 0; jr < nr; ++jr) c(i0 + ir, j0 + jr) = acc[ir * NR + jr];
+  }
+}
 
-}  // namespace
+void gemm_packed_engine(Span2D<const double> a, Span2D<const double> b,
+                        Span2D<double> c, bool b_transposed) {
+  const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
+  if (m == 0 || n == 0 || k == 0) return;
+  const simd::MicroKernelFn kern = simd::active_micro_kernel();
+  const std::size_t nkc = ceil_div(k, kKC);
+  // Uniform panel stride (kKC*NR even for the ragged last chunk) keeps the
+  // cooperative-pack index arithmetic trivial; the tail beyond kc*NR of a
+  // ragged chunk's panels is simply never read.
+  const std::size_t panel_stride = kKC * NR;
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::size_t nc = std::min(kNC, n - j0);
+    const std::size_t npanels = ceil_div(nc, NR);
+
+    // Stage 1: pack the whole (all-k x column-slab) set of B micropanels
+    // cooperatively. Units write disjoint panel regions; the parallel_for
+    // completion barrier orders them before the compute stage's reads.
+    std::vector<double>& bpack = tls_bpack;
+    bpack.resize(nkc * npanels * panel_stride);
+    double* const bbase = bpack.data();
+    const std::size_t pack_units = nkc * npanels;
+    // ~kc*NR*8 bytes copied per unit at ~0.5 ns/byte.
+    const std::size_t pack_grain = common::grain_for_cost(
+        static_cast<double>(std::min<std::size_t>(kKC, k)) * NR * 8.0 * 0.5);
+    common::parallel_for(
+        0, pack_units, pack_grain, [&](std::size_t u0, std::size_t u1) {
+          for (std::size_t u = u0; u < u1; ++u) {
+            const std::size_t kb = u / npanels;
+            const std::size_t jp = u % npanels;
+            const std::size_t k0 = kb * kKC;
+            const std::size_t kc = std::min(kKC, k - k0);
+            const std::size_t j = j0 + jp * NR;
+            const std::size_t w = std::min(NR, j0 + nc - j);
+            pack_b_micropanel(b, b_transposed, k0, kc, j, w,
+                              bbase + u * panel_stride);
+          }
+        });
+
+    // Stage 2: one fused region over i-tiles; each task owns disjoint C
+    // rows and applies k-chunks in ascending order (bit-identity).
+    const std::size_t ntiles = ceil_div(m, kMC);
+    const std::size_t tile_grain = common::grain_for_flops(
+        2.0 * static_cast<double>(std::min<std::size_t>(kMC, m)) *
+        static_cast<double>(nc) * static_cast<double>(k));
+    common::parallel_for(
+        0, ntiles, tile_grain, [&](std::size_t t0, std::size_t t1) {
+          std::vector<double>& apack = tls_apack;
+          for (std::size_t t = t0; t < t1; ++t) {
+            const std::size_t i0 = t * kMC;
+            const std::size_t mc = std::min(kMC, m - i0);
+            for (std::size_t kb = 0; kb < nkc; ++kb) {
+              const std::size_t k0 = kb * kKC;
+              const std::size_t kc = std::min(kKC, k - k0);
+              pack_a_tile(a, i0, mc, k0, kc, apack);
+              const double* slab = bbase + kb * npanels * panel_stride;
+              for (std::size_t jp = 0; jp < npanels; ++jp) {
+                const double* bp = slab + jp * panel_stride;
+                const std::size_t j = j0 + jp * NR;
+                const std::size_t w = std::min(NR, j0 + nc - j);
+                for (std::size_t ip = 0; ip * MR < mc; ++ip) {
+                  const double* ap = apack.data() + ip * kc * MR;
+                  const std::size_t i = i0 + ip * MR;
+                  const std::size_t h = std::min(MR, i0 + mc - i);
+                  micro_tile(kern, kc, ap, bp, c, i, j, h, w);
+                }
+              }
+            }
+          }
+        });
+  }
+}
+
+}  // namespace detail
 
 void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
   check_gemm_shapes(a, b, c);
@@ -214,47 +260,15 @@ void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c) {
     gemm_tiled(a, b, c);
     return;
   }
-  std::size_t pack_bytes = 0;
-  std::vector<double> bpack;
-  for (std::size_t j0 = 0; j0 < n; j0 += NC) {
-    const std::size_t nc = std::min(NC, n - j0);
-    const std::size_t npanels = (nc + NR - 1) / NR;
-    for (std::size_t k0 = 0; k0 < k; k0 += KC) {
-      const std::size_t kc = std::min(KC, k - k0);
-      pack_b_panel(b, k0, kc, j0, nc, bpack);
-      if (metrics) {
-        // B panel bytes plus the A micropanels every i-tile will pack.
-        pack_bytes += (npanels * kc * NR +
-                       (m + MR - 1) / MR * kc * MR) * sizeof(double);
-      }
-      // Parallel over MC-row i-tiles: tiles write disjoint row ranges of C,
-      // so the shared global pool can split them freely.
-      const std::size_t ntiles = (m + MC - 1) / MC;
-      common::parallel_for(0, ntiles, 1, [&](std::size_t t0, std::size_t t1) {
-        for (std::size_t t = t0; t < t1; ++t) {
-          const std::size_t i0 = t * MC;
-          const std::size_t mc = std::min(MC, m - i0);
-          std::vector<double>& apack = tls_apack;
-          pack_a_tile(a, i0, mc, k0, kc, apack);
-          for (std::size_t jp = 0; jp < npanels; ++jp) {
-            const double* bp = bpack.data() + jp * kc * NR;
-            const std::size_t j = j0 + jp * NR;
-            const std::size_t w = std::min(NR, j0 + nc - j);
-            for (std::size_t ip = 0; ip * MR < mc; ++ip) {
-              const double* ap = apack.data() + ip * kc * MR;
-              const std::size_t i = i0 + ip * MR;
-              const std::size_t h = std::min(MR, i0 + mc - i);
-              micro_tile(kc, ap, bp, c, i, j, h, w);
-            }
-          }
-        }
-      });
-    }
-  }
+  detail::gemm_packed_engine(a, b, c, /*b_transposed=*/false);
   if (metrics) {
+    // B micropanel bytes plus the A micropanels every i-tile packs.
     static obs::Counter& packed =
         obs::Registry::global().counter("gemm.pack_bytes");
-    packed.add(pack_bytes);
+    const std::size_t kpad = (k + detail::kKC - 1) / detail::kKC * detail::kKC;
+    packed.add(((n + simd::kNR - 1) / simd::kNR * kpad * simd::kNR +
+                (m + simd::kMR - 1) / simd::kMR * k * simd::kMR) *
+               sizeof(double));
   }
 }
 
@@ -272,17 +286,27 @@ void trsm_left_lower_unit(Span2D<const double> l, Span2D<double> b) {
   RCS_CHECK_MSG(l.rows() == b.rows(), "trsm: L/B shape mismatch");
   const std::size_t n = l.rows();
   const std::size_t m = b.cols();
-  // Forward substitution, row at a time: X[i] = B[i] - sum_{j<i} L[i,j] X[j].
-  for (std::size_t i = 0; i < n; ++i) {
-    double* bi = b.row(i);
-    for (std::size_t j = 0; j < i; ++j) {
-      const double lij = l(i, j);
-      if (lij == 0.0) continue;
-      const double* bj = b.row(j);
-      for (std::size_t col = 0; col < m; ++col) bi[col] -= lij * bj[col];
+  if (n == 0 || m == 0) return;
+  // Forward substitution: X[i] = B[i] - sum_{j<i} L[i,j] X[j]. Columns of B
+  // are independent systems, so the solve parallelizes over disjoint column
+  // strips with the per-column (i, j) order — and therefore every output
+  // bit — unchanged at any thread count. The grain heuristic keeps small
+  // right-hand sides (the LU opL panels are often narrow) serial: one
+  // column costs ~n^2 flops of work.
+  const std::size_t grain = common::grain_for_flops(
+      static_cast<double>(n) * static_cast<double>(n));
+  common::parallel_for(0, m, grain, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double* bi = b.row(i);
+      for (std::size_t j = 0; j < i; ++j) {
+        const double lij = l(i, j);
+        if (lij == 0.0) continue;
+        const double* bj = b.row(j);
+        for (std::size_t col = c0; col < c1; ++col) bi[col] -= lij * bj[col];
+      }
+      // Unit diagonal: no divide.
     }
-    // Unit diagonal: no divide.
-  }
+  });
 }
 
 void trsm_right_upper(Span2D<const double> u, Span2D<double> b) {

@@ -19,10 +19,14 @@ void gemm_naive(Span2D<const double> a, Span2D<const double> b,
 void gemm_tiled(Span2D<const double> a, Span2D<const double> b,
                 Span2D<double> c);
 
-/// C += A * B, packed register-blocked microkernel, parallelized over row
-/// tiles on the shared common::ThreadPool (the production host dgemm
-/// substitute). Per-entry accumulation order is ascending inner index, so
-/// the result is bit-identical to gemm_naive at any thread count.
+/// C += A * B, packed register-blocked engine (the production host dgemm
+/// substitute): B micropanels are packed cooperatively on the shared
+/// common::ThreadPool, then one fused parallel region per column slab
+/// sweeps the i-tile x k-chunk space with the runtime-dispatched SIMD
+/// microkernel (simd::active_level(); override with RCS_SIMD=scalar|avx2|
+/// avx512). Per-entry accumulation order is ascending inner index with no
+/// FMA on every path, so the result is bit-identical to gemm_naive at any
+/// thread count and on every dispatch path.
 void gemm(Span2D<const double> a, Span2D<const double> b, Span2D<double> c);
 
 /// C = A * B (zeroes C first, then gemm).
@@ -31,6 +35,9 @@ void gemm_overwrite(Span2D<const double> a, Span2D<const double> b,
 
 /// Solve L * X = B in place of B, with L lower-triangular and unit-diagonal
 /// (dtrsm side=Left, uplo=Lower, diag=Unit). Used by opU: U01 = L00^-1 A01.
+/// Parallelized over disjoint column strips of B (columns are independent
+/// systems); per-column operation order is unchanged, so the result is
+/// bit-identical to the serial solve at any thread count.
 void trsm_left_lower_unit(Span2D<const double> l, Span2D<double> b);
 
 /// Solve X * U = B in place of B, with U upper-triangular (non-unit diagonal)

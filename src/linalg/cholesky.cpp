@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/gemm_kernel.hpp"
 #include "linalg/generate.hpp"
 
 namespace rcs::linalg {
@@ -60,6 +61,13 @@ void gemm_nt(Span2D<const double> a, Span2D<const double> b,
                                              << ", B^T " << b.cols() << "x"
                                              << b.rows() << ", C "
                                              << c.rows() << "x" << c.cols());
+  // The packed engine supports B^T natively (it packs b(j, l) micropanels),
+  // accumulating each C entry in ascending-k order exactly like the loop
+  // below — same bits, so the threshold only trades speed.
+  if (c.rows() * c.cols() * a.cols() > 48 * 48 * 48) {
+    detail::gemm_packed_engine(a, b, c, /*b_transposed=*/true);
+    return;
+  }
   for (std::size_t i = 0; i < c.rows(); ++i) {
     for (std::size_t j = 0; j < c.cols(); ++j) {
       double acc = c(i, j);

@@ -1,0 +1,199 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/provenance.hpp"
+
+// Explicit-ISA kernels are compiled with per-function target attributes so
+// this translation unit builds with the project's baseline flags (no
+// -march=native) and the binary stays runnable on machines without the wide
+// ISAs — the unsupported paths are simply never dispatched to.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RCS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace rcs::linalg::simd {
+
+namespace {
+
+using std::size_t;
+
+/// Portable reference path. The compiler may vectorize the jr loop, but
+/// each lane is still one IEEE mul feeding one IEEE add (-ffp-contract=off
+/// forbids fusing them), so the bits match the explicit-ISA kernels.
+void micro_kernel_scalar(size_t kc, const double* ap, const double* bp,
+                         double* acc) {
+  for (size_t l = 0; l < kc; ++l) {
+    const double* arow = ap + l * kMR;
+    const double* brow = bp + l * kNR;
+    for (size_t ir = 0; ir < kMR; ++ir) {
+      const double av = arow[ir];
+      double* row = acc + ir * kNR;
+      for (size_t jr = 0; jr < kNR; ++jr) row[jr] += av * brow[jr];
+    }
+  }
+}
+
+#ifdef RCS_SIMD_X86
+
+/// AVX2: one C-microtile row is two ymm registers. Processing the 8 rows in
+/// two halves of 4 keeps the live set at 8 accumulators + 2 B vectors + 1
+/// broadcast — comfortably inside the 16 ymm registers; the B panel is
+/// re-read for the second half but is L1-resident (kc*NR*8 <= 16 KB).
+/// _mm256_mul_pd + _mm256_add_pd are separate instructions by construction:
+/// no FMA, bit-identical to the scalar loop.
+__attribute__((target("avx2"))) void micro_kernel_avx2(size_t kc,
+                                                       const double* ap,
+                                                       const double* bp,
+                                                       double* acc) {
+  for (size_t half = 0; half < 2; ++half) {
+    const size_t r0 = half * 4;
+    __m256d r[4][2];
+    for (size_t i = 0; i < 4; ++i) {
+      r[i][0] = _mm256_loadu_pd(acc + (r0 + i) * kNR);
+      r[i][1] = _mm256_loadu_pd(acc + (r0 + i) * kNR + 4);
+    }
+    for (size_t l = 0; l < kc; ++l) {
+      const __m256d b0 = _mm256_loadu_pd(bp + l * kNR);
+      const __m256d b1 = _mm256_loadu_pd(bp + l * kNR + 4);
+      const double* arow = ap + l * kMR + r0;
+      for (size_t i = 0; i < 4; ++i) {
+        const __m256d av = _mm256_set1_pd(arow[i]);
+        r[i][0] = _mm256_add_pd(r[i][0], _mm256_mul_pd(av, b0));
+        r[i][1] = _mm256_add_pd(r[i][1], _mm256_mul_pd(av, b1));
+      }
+    }
+    for (size_t i = 0; i < 4; ++i) {
+      _mm256_storeu_pd(acc + (r0 + i) * kNR, r[i][0]);
+      _mm256_storeu_pd(acc + (r0 + i) * kNR + 4, r[i][1]);
+    }
+  }
+}
+
+/// AVX-512F: one zmm per C-microtile row; 8 accumulators + 1 B vector + 1
+/// broadcast live. Separate vmulpd/vaddpd — no FMA, bit-identical.
+__attribute__((target("avx512f"))) void micro_kernel_avx512(size_t kc,
+                                                            const double* ap,
+                                                            const double* bp,
+                                                            double* acc) {
+  __m512d r[kMR];
+  for (size_t i = 0; i < kMR; ++i) r[i] = _mm512_loadu_pd(acc + i * kNR);
+  for (size_t l = 0; l < kc; ++l) {
+    const __m512d b = _mm512_loadu_pd(bp + l * kNR);
+    const double* arow = ap + l * kMR;
+    for (size_t i = 0; i < kMR; ++i) {
+      const __m512d av = _mm512_set1_pd(arow[i]);
+      r[i] = _mm512_add_pd(r[i], _mm512_mul_pd(av, b));
+    }
+  }
+  for (size_t i = 0; i < kMR; ++i) _mm512_storeu_pd(acc + i * kNR, r[i]);
+}
+
+#endif  // RCS_SIMD_X86
+
+Level detect_best() {
+#ifdef RCS_SIMD_X86
+  if (__builtin_cpu_supports("avx512f")) return Level::Avx512;
+  if (__builtin_cpu_supports("avx2")) return Level::Avx2;
+#endif
+  return Level::Scalar;
+}
+
+/// Publish the chosen path into the obs provenance so benchmark artifacts
+/// record which kernel produced their numbers.
+void publish(Level level) { obs::set_simd_path(level_name(level)); }
+
+Level resolve_initial() {
+  const Level best = detect_best();
+  Level chosen = best;
+  if (const char* env = std::getenv("RCS_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      chosen = Level::Scalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      chosen = Level::Avx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      chosen = Level::Avx512;
+    } else if (*env != '\0') {
+      std::fprintf(stderr,
+                   "rcs: unknown RCS_SIMD value '%s' "
+                   "(expected scalar|avx2|avx512); using %s\n",
+                   env, level_name(best));
+    }
+    if (!level_supported(chosen)) {
+      std::fprintf(stderr,
+                   "rcs: RCS_SIMD=%s not supported on this CPU; "
+                   "falling back to %s\n",
+                   level_name(chosen), level_name(best));
+      chosen = best;
+    }
+  }
+  publish(chosen);
+  return chosen;
+}
+
+std::atomic<Level>& level_slot() {
+  static std::atomic<Level> slot{resolve_initial()};
+  return slot;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Scalar:
+      return "scalar";
+    case Level::Avx2:
+      return "avx2";
+    case Level::Avx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool level_supported(Level level) {
+  return static_cast<int>(level) <= static_cast<int>(detect_best());
+}
+
+Level max_supported_level() { return detect_best(); }
+
+Level active_level() {
+  return level_slot().load(std::memory_order_relaxed);
+}
+
+void set_level(Level level) {
+  RCS_CHECK_MSG(level_supported(level),
+                "SIMD level " << level_name(level)
+                              << " is not supported on this CPU (max "
+                              << level_name(detect_best()) << ")");
+  level_slot().store(level, std::memory_order_relaxed);
+  publish(level);
+}
+
+MicroKernelFn micro_kernel(Level level) {
+  RCS_CHECK_MSG(level_supported(level),
+                "SIMD level " << level_name(level)
+                              << " is not supported on this CPU");
+  switch (level) {
+    case Level::Scalar:
+      return micro_kernel_scalar;
+#ifdef RCS_SIMD_X86
+    case Level::Avx2:
+      return micro_kernel_avx2;
+    case Level::Avx512:
+      return micro_kernel_avx512;
+#else
+    default:
+      break;
+#endif
+  }
+  return micro_kernel_scalar;
+}
+
+MicroKernelFn active_micro_kernel() { return micro_kernel(active_level()); }
+
+}  // namespace rcs::linalg::simd

@@ -1,6 +1,8 @@
 #include "obs/provenance.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <ostream>
 
 #include "obs/trace.hpp"
@@ -9,8 +11,18 @@
 #include <unistd.h>
 #endif
 
+// Git identity comes from a header regenerated on every build (not at
+// configure time), so the stamp tracks HEAD and records whether the tree
+// was dirty — a benchmark artifact claiming a SHA it wasn't built from is
+// worse than no stamp at all.
+#if __has_include("rcs_gitstamp.h")
+#include "rcs_gitstamp.h"
+#endif
 #ifndef RCS_GIT_SHA
 #define RCS_GIT_SHA "unknown"
+#endif
+#ifndef RCS_GIT_DIRTY
+#define RCS_GIT_DIRTY 0
 #endif
 #ifndef RCS_BUILD_TYPE
 #define RCS_BUILD_TYPE "unknown"
@@ -18,9 +30,23 @@
 
 namespace rcs::obs {
 
+namespace {
+std::mutex simd_mu;
+std::string& simd_slot() {
+  static std::string slot = "unresolved";
+  return slot;
+}
+}  // namespace
+
+void set_simd_path(const char* name) {
+  std::lock_guard<std::mutex> lock(simd_mu);
+  simd_slot() = name != nullptr ? name : "unresolved";
+}
+
 Provenance Provenance::collect() {
   Provenance p;
   p.git_sha = RCS_GIT_SHA;
+  p.git_dirty = RCS_GIT_DIRTY != 0;
   p.build_type = RCS_BUILD_TYPE;
 #if defined(__clang__)
   p.compiler = std::string("clang ") + __clang_version__;
@@ -41,6 +67,10 @@ Provenance Provenance::collect() {
 #endif
   const char* threads = std::getenv("RCS_THREADS");
   p.rcs_threads = threads != nullptr ? threads : "";
+  {
+    std::lock_guard<std::mutex> lock(simd_mu);
+    p.simd = simd_slot();
+  }
   return p;
 }
 
@@ -48,10 +78,12 @@ void Provenance::write_json(std::ostream& os, int indent) const {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   os << "{\n"
      << pad << "  \"git_sha\": \"" << json_escape(git_sha) << "\",\n"
+     << pad << "  \"git_dirty\": " << (git_dirty ? "true" : "false") << ",\n"
      << pad << "  \"compiler\": \"" << json_escape(compiler) << "\",\n"
      << pad << "  \"build_type\": \"" << json_escape(build_type) << "\",\n"
      << pad << "  \"hostname\": \"" << json_escape(hostname) << "\",\n"
-     << pad << "  \"rcs_threads\": \"" << json_escape(rcs_threads) << "\"\n"
+     << pad << "  \"rcs_threads\": \"" << json_escape(rcs_threads) << "\",\n"
+     << pad << "  \"simd\": \"" << json_escape(simd) << "\"\n"
      << pad << "}";
 }
 

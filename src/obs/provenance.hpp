@@ -1,7 +1,8 @@
 #pragma once
 // Build/run provenance stamped into benchmark artifacts (BENCH_perf.json)
 // so points on the perf trajectory are comparable: a regression is only a
-// regression if the compiler, build type, and machine match.
+// regression if the compiler, build type, machine, and kernel dispatch
+// path match.
 
 #include <iosfwd>
 #include <string>
@@ -9,11 +10,13 @@
 namespace rcs::obs {
 
 struct Provenance {
-  std::string git_sha;      // configure-time git rev (RCS_GIT_SHA define)
+  std::string git_sha;      // build-time git rev (regenerated every build)
+  bool git_dirty = false;   // working tree had uncommitted changes at build
   std::string compiler;     // "gcc 13.2.0" / "clang 17.0.1 ..."
   std::string build_type;   // CMAKE_BUILD_TYPE of this binary
   std::string hostname;     // gethostname()
   std::string rcs_threads;  // $RCS_THREADS as seen at collect() ("" = unset)
+  std::string simd;         // resolved SIMD dispatch path (set_simd_path)
 
   /// Gather all fields for the running process.
   static Provenance collect();
@@ -22,5 +25,11 @@ struct Provenance {
   /// the object can follow a key); continuation lines get `indent` spaces.
   void write_json(std::ostream& os, int indent = 0) const;
 };
+
+/// Record the kernel dispatch path chosen at startup (e.g. "avx2"). Called
+/// by the linalg SIMD dispatcher; obs stays dependency-free, so the value
+/// is pushed in rather than queried. Until something calls this, collect()
+/// reports "unresolved" (meaning: no SIMD-dispatched kernel ran yet).
+void set_simd_path(const char* name);
 
 }  // namespace rcs::obs

@@ -14,10 +14,13 @@
 #include "core/system.hpp"
 #include "fpga/matmul_array.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 
 namespace la = rcs::linalg;
+namespace simd = rcs::linalg::simd;
 namespace common = rcs::common;
 using rcs::fpga::MatMulArray;
 
@@ -38,8 +41,28 @@ const Shape kShapes[] = {
     {64, 64, 64}, {65, 63, 66}, {70, 300, 17}, {128, 260, 130},
 };
 
+// Ragged sweep from {1, 7, 63, 257, 1000}: every extent class (unit, tiny,
+// one-under-tile, panel-crossing, above-NC slab) in non-square mixes, each
+// kept small enough (m*k*n <= ~2e7) that the naive reference stays fast.
+const Shape kRaggedShapes[] = {
+    {1, 1000, 7},   {7, 257, 63},  {63, 63, 257},  {257, 1000, 1},
+    {1000, 7, 257}, {63, 1000, 63}, {1000, 63, 63}, {257, 257, 257},
+};
+
 la::Matrix seeded(std::size_t r, std::size_t c, int seed) {
   return la::random_matrix(r, c, seed);
+}
+
+/// Run `body(level)` once per SIMD level this CPU supports, restoring the
+/// previously active level afterwards.
+template <typename Body>
+void for_each_simd_level(const Body& body) {
+  const simd::Level saved = simd::active_level();
+  for (int lv = 0; lv <= static_cast<int>(simd::max_supported_level());
+       ++lv) {
+    body(static_cast<simd::Level>(lv));
+  }
+  simd::set_level(saved);
 }
 
 class BlasParallel : public ::testing::TestWithParam<int> {
@@ -132,8 +155,158 @@ TEST_P(BlasParallel, MatMulArraySoftMatchesSerialSoft) {
   EXPECT_TRUE(la::bit_equal(f_par.view(), f_serial.view()));
 }
 
+TEST_P(BlasParallel, GemmRaggedSweepAcrossSimdPaths) {
+  int seed = 200;
+  for (const Shape& s : kRaggedShapes) {
+    const la::Matrix a = seeded(s.m, s.k, seed++);
+    const la::Matrix b = seeded(s.k, s.n, seed++);
+    la::Matrix c_ref = seeded(s.m, s.n, 201);
+    const la::Matrix c0 = c_ref;
+    la::gemm_naive(a.view(), b.view(), c_ref.view());
+    for_each_simd_level([&](simd::Level level) {
+      simd::set_level(level);
+      la::Matrix c = c0;
+      la::gemm(a.view(), b.view(), c.view());
+      EXPECT_TRUE(la::bit_equal(c.view(), c_ref.view()))
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n
+          << " threads=" << GetParam()
+          << " simd=" << simd::level_name(level);
+    });
+  }
+}
+
+TEST_P(BlasParallel, MatMulArrayStreamedRaggedSweepAcrossSimdPaths) {
+  const MatMulArray array(rcs::core::SystemParams::cray_xd1().mm_fpga);
+  int seed = 300;
+  for (const Shape& s : kRaggedShapes) {
+    const la::Matrix c = seeded(s.m, s.k, seed++);
+    const la::Matrix d = seeded(s.k, s.n, seed++);
+    const la::Matrix dt = seeded(s.n, s.k, seed++);
+    la::Matrix e_ref = seeded(s.m, s.n, 301);
+    la::Matrix ent_ref = e_ref;
+    const la::Matrix e0 = e_ref;
+    la::gemm_naive(c.view(), d.view(), e_ref.view());
+    // Ascending-l naive NT reference.
+    for (std::size_t i = 0; i < s.m; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        double acc = ent_ref(i, j);
+        for (std::size_t l = 0; l < s.k; ++l) acc += c(i, l) * dt(j, l);
+        ent_ref(i, j) = acc;
+      }
+    }
+    for_each_simd_level([&](simd::Level level) {
+      simd::set_level(level);
+      la::Matrix e = e0;
+      array.multiply_accumulate(c.view(), d.view(), e.view());
+      EXPECT_TRUE(la::bit_equal(e.view(), e_ref.view()))
+          << "nn m=" << s.m << " k=" << s.k << " n=" << s.n
+          << " threads=" << GetParam()
+          << " simd=" << simd::level_name(level);
+      la::Matrix ent = e0;
+      array.multiply_accumulate_nt(c.view(), dt.view(), ent.view());
+      EXPECT_TRUE(la::bit_equal(ent.view(), ent_ref.view()))
+          << "nt m=" << s.m << " k=" << s.k << " n=" << s.n
+          << " threads=" << GetParam()
+          << " simd=" << simd::level_name(level);
+    });
+  }
+}
+
+TEST_P(BlasParallel, MatMulArraySoftRaggedMatchesSerial) {
+  // Soft-float stays on the scalar row loop; two small ragged shapes keep
+  // the bit-accurate cores affordable.
+  const MatMulArray array(rcs::core::SystemParams::cray_xd1().mm_fpga);
+  const Shape soft_shapes[] = {{7, 63, 1}, {63, 7, 7}};
+  int seed = 400;
+  for (const Shape& s : soft_shapes) {
+    const la::Matrix c = seeded(s.m, s.k, seed++);
+    const la::Matrix d = seeded(s.k, s.n, seed++);
+    const la::Matrix dt = seeded(s.n, s.k, seed++);
+    la::Matrix e_ref = seeded(s.m, s.n, 401);
+    la::Matrix ent_ref = e_ref;
+    const la::Matrix e0 = e_ref;
+    common::ThreadPool::set_global_threads(1);
+    array.multiply_accumulate_soft(c.view(), d.view(), e_ref.view());
+    array.multiply_accumulate_nt_soft(c.view(), dt.view(), ent_ref.view());
+    common::ThreadPool::set_global_threads(GetParam());
+    la::Matrix e = e0;
+    array.multiply_accumulate_soft(c.view(), d.view(), e.view());
+    EXPECT_TRUE(la::bit_equal(e.view(), e_ref.view()));
+    la::Matrix ent = e0;
+    array.multiply_accumulate_nt_soft(c.view(), dt.view(), ent.view());
+    EXPECT_TRUE(la::bit_equal(ent.view(), ent_ref.view()));
+  }
+}
+
+TEST_P(BlasParallel, GemmNtBitIdenticalAcrossSimdPaths) {
+  // gemm_nt routes through the engine's NT path above the small-product
+  // threshold; 70x300x70 crosses it.
+  const la::Matrix a = seeded(70, 300, 501);
+  const la::Matrix b = seeded(70, 300, 502);
+  la::Matrix ref(70, 70);
+  for (std::size_t i = 0; i < 70; ++i) {
+    for (std::size_t j = 0; j < 70; ++j) {
+      double acc = ref(i, j);
+      for (std::size_t l = 0; l < 300; ++l) acc += a(i, l) * b(j, l);
+      ref(i, j) = acc;
+    }
+  }
+  for_each_simd_level([&](simd::Level level) {
+    simd::set_level(level);
+    la::Matrix c(70, 70);
+    la::gemm_nt(a.view(), b.view(), c.view());
+    EXPECT_TRUE(la::bit_equal(c.view(), ref.view()))
+        << "threads=" << GetParam() << " simd=" << simd::level_name(level);
+  });
+}
+
+TEST_P(BlasParallel, TrsmLeftLowerUnitBitIdenticalToSerial) {
+  // Column-strip parallel solve vs the single-thread result, including a
+  // single-column B (fully serial by the grain heuristic).
+  for (std::size_t rhs_cols : {std::size_t{1}, std::size_t{7},
+                               std::size_t{257}}) {
+    la::Matrix l = seeded(129, 129, 601);
+    for (std::size_t i = 0; i < 129; ++i) l(i, i) = 1.0;
+    const la::Matrix b0 = seeded(129, rhs_cols, 602);
+    common::ThreadPool::set_global_threads(1);
+    la::Matrix ref = b0;
+    la::trsm_left_lower_unit(l.view(), ref.view());
+    common::ThreadPool::set_global_threads(GetParam());
+    la::Matrix b = b0;
+    la::trsm_left_lower_unit(l.view(), b.view());
+    EXPECT_TRUE(la::bit_equal(b.view(), ref.view()))
+        << "rhs_cols=" << rhs_cols << " threads=" << GetParam();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, BlasParallel,
                          ::testing::ValuesIn(kThreadCounts));
+
+// ---------------------------------------------------------------------------
+// Minimum-grain heuristic
+
+TEST(GrainHeuristic, FloorsChunksAtMinWork) {
+  // 20 us floor at 10 ns/item -> 2000 items per chunk.
+  EXPECT_EQ(common::grain_for_cost(10.0), 2000u);
+  // Items already >= the floor run at grain 1 (full parallelism).
+  EXPECT_EQ(common::grain_for_cost(common::kMinChunkNs), 1u);
+  EXPECT_EQ(common::grain_for_cost(1e9), 1u);
+  // Degenerate costs never divide by zero or overflow.
+  EXPECT_EQ(common::grain_for_cost(0.0), 1u);
+  EXPECT_EQ(common::grain_for_cost(-5.0), 1u);
+  EXPECT_EQ(common::grain_for_cost(1e-12), static_cast<std::size_t>(1e9));
+  // Flop variant: 100 flops/item at 0.05 ns/flop = 5 ns/item -> 4000.
+  EXPECT_EQ(common::grain_for_flops(100.0), 4000u);
+}
+
+TEST(GrainHeuristic, SmallJobsStaySerial) {
+  common::ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  // 100 items at 10 ns each is far below one 20 us chunk -> 1 chunk.
+  pool.parallel_for(0, 100, common::grain_for_cost(10.0),
+                    [&](std::size_t, std::size_t) { ++chunks; });
+  EXPECT_EQ(chunks.load(), 1);
+}
 
 // ---------------------------------------------------------------------------
 // ThreadPool primitive behavior

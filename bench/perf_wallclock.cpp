@@ -55,6 +55,9 @@ struct Row {
   std::string kernel;
   long long size = 0;
   int threads = 1;
+  // More worker threads than hardware cores: timings carry scheduler noise
+  // and the perf gate skips these rows.
+  bool oversubscribed = false;
   double seconds = 0.0;
   double gflops = 0.0;
   // Pool telemetry per rep of the timing loop (deltas across the whole
@@ -287,10 +290,12 @@ void write_json(const std::vector<Row>& rows,
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "    {\"kernel\": \"%s\", \"size\": %lld, \"threads\": %d, "
+                  "\"oversubscribed\": %s, "
                   "\"seconds\": %.6f, \"gflops\": %.3f, \"reps\": %d, "
                   "\"queue_wait_ms\": %.4f, \"busy_ms\": %.4f, "
                   "\"jobs\": %.1f, \"chunks\": %.1f}%s\n",
-                  r.kernel.c_str(), r.size, r.threads, r.seconds, r.gflops,
+                  r.kernel.c_str(), r.size, r.threads,
+                  r.oversubscribed ? "true" : "false", r.seconds, r.gflops,
                   r.reps, r.queue_wait_ms, r.busy_ms, r.jobs, r.chunks,
                   i + 1 < rows.size() ? "," : "");
     out << buf;
@@ -446,6 +451,12 @@ int main(int argc, char** argv) {
   }
 
   common::ThreadPool::set_global_threads(hw);
+
+  if (prov.hw_cores > 0) {
+    for (Row& r : rows) {
+      r.oversubscribed = r.threads > static_cast<int>(prov.hw_cores);
+    }
+  }
 
   std::printf("%-24s %5s %3s %9s %9s %11s %9s %7s %7s\n", "kernel", "n",
               "thr", "seconds", "GFLOP/s", "queue_ms/r", "busy_ms/r", "jobs/r",

@@ -1,0 +1,104 @@
+#include "core/analysis.hpp"
+
+#include <cstdlib>
+
+namespace rcs::core {
+
+namespace {
+
+using obs::cp::Bucket;
+using obs::cp::Interval;
+using obs::cp::Op;
+using obs::cp::Timeline;
+using obs::cp::Wire;
+
+/// Phase labels charged to fault detection/repair/reissue work.
+bool is_recovery_label(const std::string& label) {
+  return label == "abft" || label == "abft.repair" ||
+         label == "straggler.reissue" || label == "dmr" ||
+         label == "dmr.repair";
+}
+
+/// Parse "node<r>.<unit>" into (rank, unit). Returns false for resources
+/// that do not follow the convention.
+bool parse_resource(const std::string& resource, int* rank,
+                    std::string* unit) {
+  if (resource.rfind("node", 0) != 0) return false;
+  const std::size_t dot = resource.find('.', 4);
+  if (dot == std::string::npos || dot == 4) return false;
+  char* end = nullptr;
+  const long r = std::strtol(resource.c_str() + 4, &end, 10);
+  if (end != resource.c_str() + dot) return false;
+  *rank = static_cast<int>(r);
+  *unit = resource.substr(dot + 1);
+  return true;
+}
+
+}  // namespace
+
+Timeline build_cp_timeline(const sim::TraceRecorder& rec, int ranks,
+                           double makespan) {
+  Timeline tl;
+  tl.ranks = ranks;
+  tl.makespan = makespan;
+
+  for (const sim::TraceSpan& s : rec.spans()) {
+    int rank = -1;
+    std::string unit;
+    if (!parse_resource(s.resource, &rank, &unit)) continue;
+    if (rank < 0 || rank >= ranks) continue;
+    if (unit == "fpga") {
+      // The device runs concurrently with the CPU timeline: its busy time
+      // is a resource, not a slice of the rank's clock.
+      tl.concurrent_fpga_s += s.end - s.start;
+      continue;
+    }
+    Interval iv;
+    iv.rank = rank;
+    iv.start = s.start;
+    iv.end = s.end;
+    iv.label = s.label;
+    if (unit == "cpu") {
+      iv.bucket = is_recovery_label(s.label) ? Bucket::FaultRecovery
+                                             : Bucket::Cpu;
+    } else if (unit == "dram") {
+      iv.bucket = Bucket::TransferVisible;
+    } else if (unit == "fpga_wait") {
+      iv.bucket = Bucket::Fpga;
+    } else {
+      continue;
+    }
+    tl.intervals.push_back(std::move(iv));
+  }
+
+  for (const sim::CommEvent& ev : rec.comm_events()) {
+    if (ev.rank < 0 || ev.rank >= ranks) continue;
+    const bool is_recv = ev.kind == sim::CommEvent::Kind::Recv;
+    if (!is_recv) {
+      tl.wires.push_back(
+          Wire{ev.rank, ev.peer, ev.depart, ev.arrival, ev.bytes});
+    }
+    // Zero-length send setups carry no information; zero-length receives do
+    // (they hold the wire interval of a fully hidden transfer).
+    if (!is_recv && ev.t1 <= ev.t0) continue;
+    Interval iv;
+    iv.rank = ev.rank;
+    iv.start = ev.t0;
+    iv.end = ev.t1;
+    iv.bucket = Bucket::TransferVisible;
+    iv.op = is_recv ? Op::Recv : Op::Send;
+    iv.label = ev.phase;
+    iv.peer = ev.peer;
+    iv.depart = ev.depart;
+    iv.arrival = ev.arrival;
+    tl.intervals.push_back(std::move(iv));
+  }
+  return tl;
+}
+
+obs::cp::Analysis analyze_run(const sim::TraceRecorder& rec, int ranks,
+                              double makespan) {
+  return obs::cp::analyze(build_cp_timeline(rec, ranks, makespan));
+}
+
+}  // namespace rcs::core

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <utility>
 
+#include "core/analysis.hpp"
 #include "core/fw_functional.hpp"
 #include "core/lu_functional.hpp"
 #include "core/predict.hpp"
@@ -100,6 +101,7 @@ DriftReport lu_drift_report(const SystemParams& sys, const LuConfig& cfg,
   attach_overlap(rep.phases, res.overlap);
   if (res.run.seconds > 0.0) rep.utilization = rec.utilization(res.run.seconds);
   rep.faults = res.faults;
+  rep.analysis = analyze_run(rec, sys.p, res.run.seconds);
   return rep;
 }
 
@@ -133,6 +135,7 @@ DriftReport fw_drift_report(const SystemParams& sys, const FwConfig& cfg,
   attach_overlap(rep.phases, res.overlap);
   if (res.run.seconds > 0.0) rep.utilization = rec.utilization(res.run.seconds);
   rep.faults = res.faults;
+  rep.analysis = analyze_run(rec, sys.p, res.run.seconds);
   return rep;
 }
 
@@ -183,8 +186,10 @@ void DriftReport::write_json(std::ostream& os, int indent) const {
      << ", \"straggler_reissues\": " << faults.straggler_reissues
      << ", \"recovery_cpu_s\": " << faults.recovery_cpu_s
      << ", \"mttr_p50_s\": " << faults.mttr_percentile(0.5)
-     << ", \"mttr_p99_s\": " << faults.mttr_percentile(0.99) << "}\n";
-  os << pad << "}";
+     << ", \"mttr_p99_s\": " << faults.mttr_percentile(0.99) << "},\n";
+  os << pad << "  \"analysis\": ";
+  analysis.write_json(os, indent + 2);
+  os << '\n' << pad << "}";
   os.flags(flags);
   os.precision(prec);
 }
@@ -210,6 +215,7 @@ void DriftReport::print(std::ostream& os) const {
     }
     os << '\n';
   }
+  analysis.print(os);
 }
 
 }  // namespace rcs::core

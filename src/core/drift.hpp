@@ -25,6 +25,7 @@
 #include "core/fw_analytic.hpp"
 #include "core/lu_analytic.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/critpath.hpp"
 #include "sim/faults.hpp"
 
 namespace rcs::core {
@@ -63,6 +64,10 @@ struct DriftReport {
   /// Fault injection/recovery accounting of the underlying run (all zeros
   /// for a fault-free configuration); emitted as the "faults" JSON block.
   sim::FaultStats faults;
+  /// Critical-path / makespan-attribution analysis of the run's event DAG
+  /// (obs::cp::analyze over spans + comm events); emitted as the
+  /// "analysis" JSON block.
+  obs::cp::Analysis analysis;
 
   /// JSON object, each line prefixed with `indent` spaces (for embedding).
   void write_json(std::ostream& os, int indent = 0) const;

@@ -123,6 +123,7 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
 
   world.run([&](net::Comm& comm) {
     const int me = comm.rank();
+    comm.set_trace(&rank_traces[static_cast<std::size_t>(me)]);
     node::ComputeNode node(sys.node_params_fw(), comm.clock(),
                            &rank_traces[static_cast<std::size_t>(me)],
                            "node" + std::to_string(me));
@@ -402,6 +403,9 @@ FwFunctionalResult fw_functional(const SystemParams& sys, const FwConfig& cfg,
       if (!cfg.lookahead) comm.barrier();
     }
 
+    // Stop comm tracing so the untimed gather stays out of the analyzed
+    // timeline.
+    comm.set_trace(nullptr);
     RankStats& st = stats[static_cast<std::size_t>(me)];
     st.finish = comm.clock().now();
     st.cpu_busy = node.cpu_busy_total();

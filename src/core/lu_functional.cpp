@@ -232,6 +232,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
 
   world.run([&](net::Comm& comm) {
     const int me = comm.rank();
+    comm.set_trace(&rank_traces[static_cast<std::size_t>(me)]);
     node::ComputeNode node(sys.node_params_mm(), comm.clock(),
                            &rank_traces[static_cast<std::size_t>(me)],
                            "node" + std::to_string(me));
@@ -562,7 +563,9 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
       if (!cfg.lookahead) comm.barrier();
     }
 
-    // Record simulated stats before the (untimed) gather.
+    // Record simulated stats before the (untimed) gather; stop comm
+    // tracing so gather traffic stays out of the analyzed timeline.
+    comm.set_trace(nullptr);
     RankStats& st = stats[static_cast<std::size_t>(me)];
     st.finish = comm.clock().now();
     st.cpu_busy = node.cpu_busy_total();

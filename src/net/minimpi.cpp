@@ -56,6 +56,45 @@ void Comm::log_message(int dst, std::uint64_t bytes, SimTime depart,
   sent_log_.push_back(MessageEvent{rank_, dst, bytes, depart, arrival});
 }
 
+void Comm::note_send_trace(sim::CommEvent::Kind kind, int dst, SimTime t0,
+                           SimTime depart, SimTime arrival,
+                           std::uint64_t bytes) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  sim::CommEvent ev;
+  ev.kind = kind;
+  ev.rank = rank_;
+  ev.peer = dst;
+  ev.t0 = t0;
+  ev.t1 = clock_.now();
+  ev.depart = depart;
+  ev.arrival = arrival;
+  ev.bytes = bytes;
+  ev.phase = coll_label_ != nullptr
+                 ? coll_label_
+                 : (kind == sim::CommEvent::Kind::NicSend ? "isend" : "send");
+  trace_->add_comm(std::move(ev));
+}
+
+void Comm::note_recv_trace(const Message& msg, SimTime before,
+                           const char* overlap_phase) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  sim::CommEvent ev;
+  ev.kind = sim::CommEvent::Kind::Recv;
+  ev.rank = rank_;
+  ev.peer = msg.src;
+  ev.t0 = before;
+  ev.t1 = clock_.now();
+  // A peer that died without sending leaves no wire interval: pin it to the
+  // wait's end so the analyzer sees a zero-length (fully visible) transfer.
+  ev.depart = msg.src >= 0 ? msg.depart : ev.t1;
+  ev.arrival = msg.src >= 0 ? msg.arrival : ev.t1;
+  ev.bytes = msg.payload.size();
+  ev.phase = overlap_phase != nullptr
+                 ? overlap_phase
+                 : (coll_label_ != nullptr ? coll_label_ : "recv");
+  trace_->add_comm(std::move(ev));
+}
+
 void Comm::check_crash() {
   const sim::FaultPlan* plan = world_->fault_plan_;
   if (plan == nullptr) return;
@@ -109,6 +148,8 @@ void Comm::send_bytes_any_tag(int dst, int tag, const void* data,
   clock_.advance(cost.latency_s + static_cast<double>(bytes) / cost.bytes_per_s);
   bytes_sent_ += bytes;
   log_message(dst, bytes, depart, clock_.now());
+  note_send_trace(sim::CommEvent::Kind::Send, dst, depart, depart,
+                  clock_.now(), bytes);
 
   Message msg;
   msg.src = rank_;
@@ -131,11 +172,14 @@ void Comm::isend_bytes(int dst, int tag, const void* data,
   note_send_metrics(bytes);
   // CPU pays only the DMA setup; the NIC serializes the transfer.
   const sim::LinkCost cost = wire_cost(dst, bytes);
+  const SimTime setup_t0 = clock_.now();
   clock_.advance(cost.latency_s);
   const SimTime start = std::max(clock_.now(), nic_busy_until_);
   nic_busy_until_ = start + static_cast<double>(bytes) / cost.bytes_per_s;
   bytes_sent_ += bytes;
   log_message(dst, bytes, start, nic_busy_until_);
+  note_send_trace(sim::CommEvent::Kind::NicSend, dst, setup_t0, start,
+                  nic_busy_until_, bytes);
 
   Message msg;
   msg.src = rank_;
@@ -153,6 +197,7 @@ std::vector<std::byte> Comm::bcast_tree(int root, int tag,
   RCS_CHECK_MSG(root >= 0 && root < p, "bcast_tree bad root " << root);
   if (obs::metrics_enabled() && rank_ == root) NetMetrics::get().bcasts.add(1);
   if (p == 1) return payload;
+  CollScope coll(*this, "bcast");
   // Classic binomial tree on virtual ranks (root = virtual 0): a rank's
   // parent clears its lowest set bit; it forwards to vrank + s for every
   // power of two s below that bit, largest first, so the last arrival is
@@ -180,6 +225,7 @@ std::vector<double> Comm::allgather_doubles(int tag,
   if (obs::metrics_enabled() && rank_ == 0) {
     NetMetrics::get().allgathers.add(1);
   }
+  CollScope coll(*this, "allgather");
   std::vector<double> all;
   if (rank_ == 0) {
     // Count header then payload from each rank, in rank order.
@@ -200,6 +246,7 @@ double Comm::reduce_sum(int root, int tag, double value) {
   const int p = size();
   RCS_CHECK_MSG(root >= 0 && root < p, "reduce bad root " << root);
   if (obs::metrics_enabled() && rank_ == root) NetMetrics::get().reduces.add(1);
+  CollScope coll(*this, "reduce");
   if (rank_ != root) {
     send_doubles(root, tag, &value, 1);
     return 0.0;
@@ -213,6 +260,7 @@ double Comm::reduce_sum(int root, int tag, double value) {
 }
 
 void Comm::finish_recv(const Message& msg, const char* overlap_phase) {
+  const SimTime before = clock_.now();
   if (overlap_phase != nullptr) {
     // Wire-time attribution: of the message's [depart, arrival] interval,
     // the part already behind this rank's clock was hidden behind its own
@@ -226,6 +274,7 @@ void Comm::finish_recv(const Message& msg, const char* overlap_phase) {
     st.hidden_s += total - visible;
   }
   clock_.advance_to(msg.arrival);
+  note_recv_trace(msg, before, overlap_phase);
 }
 
 Message Comm::complete_recv(int src, int tag, const char* overlap_phase) {
@@ -238,6 +287,7 @@ Message Comm::complete_recv_deadline(int src, int tag, SimTime deadline,
                                      bool* timed_out,
                                      const char* overlap_phase) {
   if (timed_out != nullptr) *timed_out = false;
+  const SimTime wait_t0 = clock_.now();
   Message msg;
   try {
     msg = world_->take(rank_, src, tag);
@@ -247,6 +297,8 @@ Message Comm::complete_recv_deadline(int src, int tag, SimTime deadline,
     fault_stats_.straggler_timeouts += 1;
     sim::note_straggler_timeout();
     clock_.advance_to(deadline);
+    Message dead;  // src = -1: note_recv_trace pins the empty wire interval
+    note_recv_trace(dead, wait_t0, overlap_phase);
     return Message{};
   }
   if (msg.arrival > deadline) {
@@ -259,6 +311,9 @@ Message Comm::complete_recv_deadline(int src, int tag, SimTime deadline,
     fault_stats_.straggler_timeouts += 1;
     sim::note_straggler_timeout();
     clock_.advance_to(deadline);
+    // Deadline-bound wait: t1 = deadline != arrival, so the analyzer treats
+    // it as a local stall instead of jumping over the (late) wire.
+    note_recv_trace(msg, wait_t0, overlap_phase);
     return msg;
   }
   finish_recv(msg, overlap_phase);
@@ -308,6 +363,7 @@ Message Comm::recv_retry(int src, int tag, SimTime timeout_s, int max_retries,
   if (gave_up != nullptr) *gave_up = false;
   obs::ScopedTimer span("recv", "net");
 
+  const SimTime wait_t0 = clock_.now();
   bool peer_failed = false;
   Message msg;
   try {
@@ -337,6 +393,7 @@ Message Comm::recv_retry(int src, int tag, SimTime timeout_s, int max_retries,
     fault_stats_.straggler_timeouts += 1;
     sim::note_straggler_timeout();
     clock_.advance_to(deadline);
+    note_recv_trace(peer_failed ? Message{} : msg, wait_t0, overlap_phase);
     return peer_failed ? Message{} : msg;
   }
   finish_recv(msg, overlap_phase);
@@ -393,6 +450,8 @@ void Comm::reset_for_run() {
   fault_stats_ = sim::FaultStats();
   sent_log_.clear();
   overlap_.clear();
+  trace_ = nullptr;
+  coll_label_ = nullptr;
 }
 
 std::vector<std::byte> Comm::bcast(int root, int tag,
@@ -400,6 +459,7 @@ std::vector<std::byte> Comm::bcast(int root, int tag,
   const int p = size();
   RCS_CHECK_MSG(root >= 0 && root < p, "bcast bad root " << root);
   if (obs::metrics_enabled() && rank_ == root) NetMetrics::get().bcasts.add(1);
+  CollScope coll(*this, "bcast");
   if (rank_ == root) {
     for (int r = 0; r < p; ++r) {
       if (r == root) continue;
@@ -433,6 +493,7 @@ void Comm::barrier() {
   if (p == 1) return;
   if (obs::metrics_enabled() && rank_ == 0) NetMetrics::get().barriers.add(1);
   obs::ScopedTimer span("barrier", "net");
+  CollScope coll(*this, "barrier");
   const std::byte token{0};
   if (rank_ == 0) {
     SimTime latest = clock_.now();
@@ -451,6 +512,7 @@ void Comm::barrier() {
 std::vector<double> Comm::gather_double(int root, int tag, double value) {
   const int p = size();
   RCS_CHECK_MSG(root >= 0 && root < p, "gather bad root " << root);
+  CollScope coll(*this, "gather");
   if (rank_ != root) {
     send_doubles(root, tag, &value, 1);
     return {};
@@ -470,6 +532,7 @@ double Comm::allreduce_max(double value) {
   constexpr int kDownTag = -1004;
   const int p = size();
   if (p == 1) return value;
+  CollScope coll(*this, "allreduce");
   if (rank_ == 0) {
     double best = value;
     for (int r = 1; r < p; ++r) {

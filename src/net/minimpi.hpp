@@ -36,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/trace.hpp"
 
 // Extended collectives and DMA-style transfers live alongside the basic
 // MPI-flavoured operations; see the class comments below.
@@ -328,6 +329,13 @@ class Comm {
   VirtualClock& clock() { return clock_; }
   const VirtualClock& clock() const { return clock_; }
 
+  /// Attach a per-rank trace recorder: every send/isend/receive is recorded
+  /// as a sim::CommEvent (clock interval + wire interval + phase label) for
+  /// critical-path analysis. The recorder must outlive the run and must be
+  /// private to this rank (recorders are not thread-safe); pass nullptr to
+  /// detach (e.g. before an untimed gather). Cleared by each new run().
+  void set_trace(sim::TraceRecorder* trace) { trace_ = trace; }
+
   /// Total bytes this rank has sent (for reports).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
@@ -375,6 +383,29 @@ class Comm {
   /// Restore construction-time state so a World can be run() again.
   void reset_for_run();
 
+  /// Scoped collective-context label: internal sends/receives issued while
+  /// a scope is live are attributed to the collective ("barrier", "bcast",
+  /// ...) instead of the generic "send"/"recv".
+  class CollScope {
+   public:
+    CollScope(Comm& c, const char* label) : c_(c), prev_(c.coll_label_) {
+      c_.coll_label_ = label;
+    }
+    ~CollScope() { c_.coll_label_ = prev_; }
+    CollScope(const CollScope&) = delete;
+    CollScope& operator=(const CollScope&) = delete;
+
+   private:
+    Comm& c_;
+    const char* prev_;
+  };
+
+  /// Trace hooks (no-ops when no recorder is attached).
+  void note_send_trace(sim::CommEvent::Kind kind, int dst, SimTime t0,
+                       SimTime depart, SimTime arrival, std::uint64_t bytes);
+  void note_recv_trace(const Message& msg, SimTime before,
+                       const char* overlap_phase);
+
   /// Telemetry: bump the global + per-rank message/byte counters (no-op
   /// when RCS_METRICS is off). Handles resolve lazily, once per Comm.
   void note_send_metrics(std::uint64_t bytes);
@@ -390,6 +421,8 @@ class Comm {
   obs::Counter* metric_bytes_ = nullptr;  // "net.rank<r>.bytes_sent"
   std::vector<MessageEvent> sent_log_;  // only filled when logging enabled
   std::map<std::string, OverlapStats> overlap_;  // labelled receives only
+  sim::TraceRecorder* trace_ = nullptr;   // per-rank comm-event sink
+  const char* coll_label_ = nullptr;      // active collective context
 };
 
 /// The set of ranks plus their mailboxes. Construct with the node count and

@@ -88,7 +88,15 @@ void ComputeNode::fpga_wait() {
   // Completion notification: processor polls the FPGA's status register.
   clock_.advance(params_.coordination_latency_s);
   ++coordination_events_;
+  const sim::SimTime start = clock_.now();
   clock_.advance_to(fpga_busy_until_);
+  // Exposed FPGA time: the processor stalled here until the pipeline
+  // drained. The fpga_submit span shows the device's full busy interval;
+  // this one shows the part the CPU could not hide behind its own work —
+  // the "FPGA compute" bucket of the critical-path analyzer.
+  if (trace_ != nullptr && clock_.now() > start) {
+    trace_->add(name_ + ".fpga_wait", start, clock_.now(), "fpga.wait");
+  }
   pending_submissions_ = 0;
 }
 

@@ -29,10 +29,30 @@ int bucket_index(double v) {
 
 }  // namespace
 
+Histogram::Histogram()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
 void Histogram::record(double v) {
   counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, v);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 double Histogram::bucket_upper_bound(int i) {
@@ -74,6 +94,10 @@ void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 Registry& Registry::global() {
@@ -138,9 +162,17 @@ std::map<std::string, MetricValue> Registry::snapshot() const {
     v.kind = MetricValue::Kind::Histogram;
     v.count = h->count();
     v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
     v.p50 = h->percentile(50.0);
     v.p99 = h->percentile(99.0);
-    out.emplace(name, v);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = h->bucket_count(i);
+      if (c == 0) continue;
+      v.buckets.push_back(
+          HistogramBucket{Histogram::bucket_upper_bound(i), c});
+    }
+    out.emplace(name, std::move(v));
   }
   return out;
 }
@@ -159,11 +191,25 @@ void Registry::write_json(std::ostream& os) const {
       case MetricValue::Kind::Gauge:
         os << "{\"type\": \"gauge\", \"value\": " << v.value << "}";
         break;
-      case MetricValue::Kind::Histogram:
+      case MetricValue::Kind::Histogram: {
         os << "{\"type\": \"histogram\", \"count\": " << v.count
-           << ", \"sum\": " << v.sum << ", \"p50\": " << v.p50
-           << ", \"p99\": " << v.p99 << "}";
+           << ", \"sum\": " << v.sum << ", \"min\": " << v.min
+           << ", \"max\": " << v.max << ", \"p50\": " << v.p50
+           << ", \"p99\": " << v.p99 << ", \"buckets\": [";
+        for (std::size_t b = 0; b < v.buckets.size(); ++b) {
+          os << (b == 0 ? "" : ", ") << "{\"le\": ";
+          // The unbounded last bucket has no finite upper edge; null keeps
+          // the JSON parseable where "inf" would not be.
+          if (std::isinf(v.buckets[b].le)) {
+            os << "null";
+          } else {
+            os << v.buckets[b].le;
+          }
+          os << ", \"count\": " << v.buckets[b].count << '}';
+        }
+        os << "]}";
         break;
+      }
     }
     os << (++i < snap.size() ? ",\n" : "\n");
   }
@@ -181,7 +227,18 @@ void Registry::write_text(std::ostream& os) const {
         break;
       case MetricValue::Kind::Histogram:
         os << name << " count=" << v.count << " sum=" << v.sum
-           << " p50=" << v.p50 << " p99=" << v.p99 << "\n";
+           << " min=" << v.min << " max=" << v.max << " p50=" << v.p50
+           << " p99=" << v.p99;
+        for (const HistogramBucket& b : v.buckets) {
+          os << " le";
+          if (std::isinf(b.le)) {
+            os << "_inf";
+          } else {
+            os << '=' << b.le;
+          }
+          os << ':' << b.count;
+        }
+        os << "\n";
         break;
     }
   }

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace rcs::obs {
 
@@ -57,6 +58,8 @@ class Histogram {
  public:
   static constexpr int kBuckets = 64;
 
+  Histogram();
+
   void record(double v);
 
   std::uint64_t count() const {
@@ -67,6 +70,10 @@ class Histogram {
     const std::uint64_t n = count();
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
+  /// Smallest / largest recorded value; 0 while the histogram is empty
+  /// (exports must not leak the ±inf tracking sentinels).
+  double min() const;
+  double max() const;
   std::uint64_t bucket_count(int i) const {
     return counts_[i].load(std::memory_order_relaxed);
   }
@@ -83,6 +90,16 @@ class Histogram {
   std::atomic<std::uint64_t> counts_[kBuckets]{};
   std::atomic<double> sum_{0.0};
   std::atomic<std::uint64_t> count_{0};
+  // Extrema track via CAS with ±inf sentinels while empty.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// One exported histogram bucket: `count` samples at or below `le`
+/// (`le` is +inf for the unbounded last bucket — emitted as null in JSON).
+struct HistogramBucket {
+  double le = 0.0;
+  std::uint64_t count = 0;
 };
 
 /// Point-in-time copy of one metric, as produced by Registry snapshots.
@@ -91,7 +108,10 @@ struct MetricValue {
   double value = 0.0;          // counter total or gauge value
   std::uint64_t count = 0;     // histogram sample count
   double sum = 0.0;            // histogram sample sum
+  double min = 0.0, max = 0.0; // histogram extrema (0 when count == 0)
   double p50 = 0.0, p99 = 0.0; // histogram percentile estimates
+  /// Non-empty buckets only (the 64-slot array is mostly zeros).
+  std::vector<HistogramBucket> buckets;
 };
 
 /// Named metric store. Metric objects live for the process lifetime and

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "obs/trace.hpp"
 
@@ -65,6 +66,7 @@ Provenance Provenance::collect() {
 #else
   p.hostname = "unknown";
 #endif
+  p.hw_cores = std::thread::hardware_concurrency();
   const char* threads = std::getenv("RCS_THREADS");
   p.rcs_threads = threads != nullptr ? threads : "";
   {
@@ -82,6 +84,7 @@ void Provenance::write_json(std::ostream& os, int indent) const {
      << pad << "  \"compiler\": \"" << json_escape(compiler) << "\",\n"
      << pad << "  \"build_type\": \"" << json_escape(build_type) << "\",\n"
      << pad << "  \"hostname\": \"" << json_escape(hostname) << "\",\n"
+     << pad << "  \"hw_cores\": " << hw_cores << ",\n"
      << pad << "  \"rcs_threads\": \"" << json_escape(rcs_threads) << "\",\n"
      << pad << "  \"simd\": \"" << json_escape(simd) << "\"\n"
      << pad << "}";

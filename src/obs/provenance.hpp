@@ -15,6 +15,7 @@ struct Provenance {
   std::string compiler;     // "gcc 13.2.0" / "clang 17.0.1 ..."
   std::string build_type;   // CMAKE_BUILD_TYPE of this binary
   std::string hostname;     // gethostname()
+  unsigned hw_cores = 0;    // std::thread::hardware_concurrency (0 = unknown)
   std::string rcs_threads;  // $RCS_THREADS as seen at collect() ("" = unset)
   std::string simd;         // resolved SIMD dispatch path (set_simd_path)
 

@@ -165,26 +165,27 @@ void write_chrome_trace(std::ostream& os) {
     if (!first) os << ",\n";
     first = false;
   };
-  char buf[256];
+  // Strings are streamed (never through a fixed buffer — a long lane or
+  // span name must not truncate mid-escape into invalid JSON); only the
+  // numeric fields go through snprintf.
+  char num[64];
   for (const auto& b : buffers) {
     sep();
-    std::snprintf(buf, sizeof(buf),
-                  "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
-                  "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
-                  b->tid, json_escape(b->lane).c_str());
-    os << buf;
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << b->tid << ", \"args\": {\"name\": \"" << json_escape(b->lane)
+       << "\"}}";
   }
   for (const auto& b : buffers) {
     for (const Event& e : b->events) {
       sep();
-      std::snprintf(
-          buf, sizeof(buf),
-          "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-          "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
-          json_escape(e.name).c_str(), json_escape(e.cat).c_str(),
-          static_cast<double>(e.t0_ns) / 1e3,
-          static_cast<double>(e.t1_ns - e.t0_ns) / 1e3, b->tid);
-      os << buf;
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(e.t0_ns) / 1e3);
+      os << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+         << json_escape(e.cat) << "\", \"ph\": \"X\", \"ts\": " << num;
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(e.t1_ns - e.t0_ns) / 1e3);
+      os << ", \"dur\": " << num << ", \"pid\": 1, \"tid\": " << b->tid
+         << '}';
     }
   }
   os << "\n]}\n";

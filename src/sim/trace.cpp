@@ -35,11 +35,22 @@ void TraceRecorder::add(std::string resource, SimTime start, SimTime end,
       TraceSpan{std::move(resource), start, end, std::move(label)});
 }
 
+void TraceRecorder::add_comm(CommEvent ev) {
+  if (!enabled_) return;
+  RCS_CHECK_MSG(ev.t1 >= ev.t0,
+                "comm event ends before it starts: " << ev.phase);
+  comm_events_.push_back(std::move(ev));
+}
+
 void TraceRecorder::merge_from(TraceRecorder&& other) {
   spans_.insert(spans_.end(),
                 std::make_move_iterator(other.spans_.begin()),
                 std::make_move_iterator(other.spans_.end()));
   other.spans_.clear();
+  comm_events_.insert(comm_events_.end(),
+                      std::make_move_iterator(other.comm_events_.begin()),
+                      std::make_move_iterator(other.comm_events_.end()));
+  other.comm_events_.clear();
 }
 
 std::map<std::string, SimTime> TraceRecorder::busy_by_resource() const {
@@ -84,6 +95,11 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
   int next = 1;
   for (auto& [res, tid] : lanes) tid = next++;
 
+  // Default stream precision (6 significant digits) would collapse distinct
+  // microsecond timestamps late in a long run; 15 digits round-trips them.
+  const auto prec = os.precision();
+  os.precision(15);
+
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   for (const auto& [res, tid] : lanes) {
@@ -102,6 +118,7 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
        << ", \"pid\": 1, \"tid\": " << lanes[s.resource] << '}';
   }
   os << "\n]}\n";
+  os.precision(prec);
 }
 
 }  // namespace rcs::sim

@@ -2,6 +2,7 @@
 // Execution-trace recording: per-resource busy intervals with labels,
 // exportable as CSV for Gantt-style inspection of a simulated run.
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -19,6 +20,28 @@ struct TraceSpan {
   std::string label;  // e.g. "opMM", "bcast D_tt"
 };
 
+/// One communication operation as seen by the rank that executed it —
+/// recorded by net::Comm when a recorder is attached (Comm::set_trace).
+/// Kept separate from TraceSpans so comm events never pollute
+/// busy_by_label() (whose labels are the drift reports' phase names): the
+/// critical-path analyzer consumes both streams.
+struct CommEvent {
+  enum class Kind {
+    Send,     // blocking send: [t0, t1] occupies the sender's CPU
+    NicSend,  // isend: [t0, t1] is the CPU setup; the NIC drives the wire
+    Recv,     // receive: [t0, t1] is the clock interval of the wait
+  };
+  Kind kind = Kind::Send;
+  int rank = -1;         // the rank whose clock interval [t0, t1] is
+  int peer = -1;         // dst for sends, src for receives
+  SimTime t0 = 0.0;      // this rank's clock when the operation began
+  SimTime t1 = 0.0;      // this rank's clock when it completed
+  SimTime depart = 0.0;  // wire interval of the message involved
+  SimTime arrival = 0.0;
+  std::uint64_t bytes = 0;
+  std::string phase;  // overlap phase / collective label ("send", "opMM", ...)
+};
+
 /// Collects TraceSpans during a simulated run. Recording can be disabled
 /// (the default for large analytic sweeps) so hot paths pay one branch.
 class TraceRecorder {
@@ -32,8 +55,15 @@ class TraceRecorder {
   void add(std::string resource, SimTime start, SimTime end,
            std::string label);
 
+  /// Record one communication event (no-op when disabled).
+  void add_comm(CommEvent ev);
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  const std::vector<CommEvent>& comm_events() const { return comm_events_; }
+  void clear() {
+    spans_.clear();
+    comm_events_.clear();
+  }
 
   /// Splice another recorder's spans into this one (used to merge the
   /// per-rank recorders of a functional run; recorders themselves are not
@@ -62,6 +92,7 @@ class TraceRecorder {
  private:
   bool enabled_;
   std::vector<TraceSpan> spans_;
+  std::vector<CommEvent> comm_events_;
 };
 
 }  // namespace rcs::sim

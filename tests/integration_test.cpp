@@ -168,11 +168,16 @@ TEST(Integration, TraceRecorderCapturesNodeActivity) {
   node.dram_to_fpga(1'040'000'000);
   node.fpga_submit(130e6, "one fpga second");
   node.fpga_wait();
-  EXPECT_EQ(trace.spans().size(), 3u);
+  // cpu, dram, fpga, plus the exposed fpga_wait span the critical-path
+  // analyzer attributes to the FPGA bucket.
+  EXPECT_EQ(trace.spans().size(), 4u);
   auto busy = trace.busy_by_resource();
   EXPECT_NEAR(busy["nX.cpu"], 1.0, 1e-9);
   EXPECT_NEAR(busy["nX.dram"], 1.0, 1e-9);
   EXPECT_NEAR(busy["nX.fpga"], 1.0, 1e-9);
+  // The whole device interval was exposed (the CPU went straight from
+  // submit to wait), minus the coordination register write.
+  EXPECT_NEAR(busy["nX.fpga_wait"], 1.0, 1e-4);
 }
 
 }  // namespace

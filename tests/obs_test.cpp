@@ -101,6 +101,91 @@ TEST(Metrics, HistogramPercentileEdgeCases) {
   EXPECT_FALSE(std::isinf(overflow.percentile(99.0)));
 }
 
+TEST(Metrics, HistogramMinMaxTrackExtrema) {
+  obs::Histogram h;
+  // Zero-count guard: an empty histogram must export zeros, not the ±inf
+  // tracking sentinels.
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  h.record(0.25);
+  h.record(300.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 300.0);
+
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST(Metrics, HistogramExportCarriesBucketsAndExtrema) {
+  auto& reg = obs::Registry::global();
+  obs::Histogram& h = reg.histogram("obs_test.export_hist");
+  h.reset();
+  h.record(3.0);    // bucket (2, 4]
+  h.record(3.5);    // same bucket
+  h.record(100.0);  // bucket (64, 128]
+  h.record(1e300);  // unbounded overflow bucket
+
+  const auto snap = reg.snapshot();
+  const auto it = snap.find("obs_test.export_hist");
+  ASSERT_NE(it, snap.end());
+  const obs::MetricValue& v = it->second;
+  EXPECT_EQ(v.count, 4u);
+  EXPECT_DOUBLE_EQ(v.min, 3.0);
+  EXPECT_DOUBLE_EQ(v.max, 1e300);
+  ASSERT_EQ(v.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.buckets[0].le, 4.0);
+  EXPECT_EQ(v.buckets[0].count, 2u);
+  EXPECT_DOUBLE_EQ(v.buckets[1].le, 128.0);
+  EXPECT_EQ(v.buckets[1].count, 1u);
+  EXPECT_TRUE(std::isinf(v.buckets[2].le));
+  EXPECT_EQ(v.buckets[2].count, 1u);
+  std::uint64_t bucket_total = 0;
+  for (const obs::HistogramBucket& b : v.buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, v.count);
+
+  std::ostringstream json;
+  reg.write_json(json);
+  const std::string js = json.str();
+  EXPECT_NE(js.find("\"min\": 3"), std::string::npos);
+  EXPECT_NE(js.find("\"max\": 1e+300"), std::string::npos);
+  EXPECT_NE(js.find("{\"le\": 4, \"count\": 2}"), std::string::npos);
+  // The unbounded last bucket exports "le": null — "inf" is not JSON.
+  EXPECT_NE(js.find("{\"le\": null, \"count\": 1}"), std::string::npos);
+  EXPECT_EQ(js.find("inf"), std::string::npos);
+
+  std::ostringstream text;
+  reg.write_text(text);
+  const std::string tx = text.str();
+  EXPECT_NE(tx.find("min=3"), std::string::npos);
+  EXPECT_NE(tx.find("max=1e+300"), std::string::npos);
+  EXPECT_NE(tx.find("le=4:2"), std::string::npos);
+  EXPECT_NE(tx.find("le_inf:1"), std::string::npos);
+  h.reset();
+}
+
+TEST(Metrics, EmptyHistogramExportsZeros) {
+  auto& reg = obs::Registry::global();
+  reg.histogram("obs_test.empty_hist").reset();
+  const auto snap = reg.snapshot();
+  const auto it = snap.find("obs_test.empty_hist");
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->second.count, 0u);
+  EXPECT_DOUBLE_EQ(it->second.min, 0.0);
+  EXPECT_DOUBLE_EQ(it->second.max, 0.0);
+  EXPECT_TRUE(it->second.buckets.empty());
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_NE(json.str().find("\"buckets\": []"), std::string::npos);
+}
+
 TEST(Metrics, RegistryReturnsStableInstancesAndRejectsKindCollisions) {
   auto& reg = obs::Registry::global();
   obs::Counter& a = reg.counter("obs_test.stable");
@@ -199,6 +284,119 @@ TEST(Trace, JsonEscape) {
   EXPECT_EQ(obs::json_escape("plain"), "plain");
   EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(obs::json_escape("line\nbreak"), "line\\nbreak");
+}
+
+/// Structural JSON balance check (brace/bracket depth outside strings, with
+/// escape handling) — the test deps have no JSON parser, and an exporter
+/// that truncates mid-escape breaks exactly this.
+bool json_balanced(const std::string& s) {
+  long braces = 0, brackets = 0;
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char ch = s[i];
+    if (in_str) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_str = false;
+      continue;
+    }
+    if (ch == '"') in_str = true;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_str;
+}
+
+TEST(Trace, ChromeTraceSurvivesLongAndHostileNames) {
+  TelemetryGuard guard;
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  // Regression: the exporter used to snprintf whole events into a 256-byte
+  // buffer, so a long escaped name truncated mid-escape into invalid JSON.
+  static std::string long_name;
+  long_name = "hostile \"name\" with \\ and \n controls ";
+  for (int i = 0; i < 40; ++i) long_name += "padding-" + std::to_string(i);
+  static std::string long_lane(400, 'L');
+  obs::set_thread_lane(long_lane);
+  obs::record_span(long_name.c_str(), "test", 0, 1000);
+  obs::set_trace_enabled(false);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string s = os.str();
+  EXPECT_TRUE(json_balanced(s)) << s.substr(0, 400);
+  // The full escaped name must be present, not a truncated prefix.
+  EXPECT_NE(s.find(obs::json_escape(long_name)), std::string::npos);
+  EXPECT_NE(s.find(long_lane), std::string::npos);
+  EXPECT_NE(s.find("padding-39"), std::string::npos);
+  obs::clear_trace();
+  obs::set_thread_lane("obs_test main");
+}
+
+TEST(SimTrace, ChromeJsonEscapesHostileLabels) {
+  rcs::sim::TraceRecorder rec(true);
+  std::string label = "wave \"0\" back\\slash\nnewline\ttab ";
+  label.append(300, 'x');  // well past any fixed formatting buffer
+  rec.add("node0.cpu", 0.0, 1.0, label);
+  rec.add("node0.\"odd\".resource", 1.0, 2.0, "plain");
+
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string s = os.str();
+  EXPECT_TRUE(json_balanced(s)) << s.substr(0, 400);
+  EXPECT_NE(s.find(obs::json_escape(label)), std::string::npos);
+  EXPECT_NE(s.find("node0.\\\"odd\\\".resource"), std::string::npos);
+  EXPECT_EQ(s.find('\n', 0), s.find("\n{"));  // no raw newline inside strings
+}
+
+TEST(SimTrace, ChromeJsonKeepsTimestampPrecision) {
+  rcs::sim::TraceRecorder rec(true);
+  // Distinct microsecond-scale events late in a long run: default 6-digit
+  // stream precision would collapse these to the same "ts".
+  rec.add("node0.cpu", 123.4567891, 123.4567892, "a");
+  rec.add("node0.cpu", 123.4567893, 123.4567894, "b");
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("123456789.1"), std::string::npos);
+  EXPECT_NE(s.find("123456789.3"), std::string::npos);
+  // The recorder restores the stream's precision afterwards.
+  EXPECT_EQ(os.precision(), std::ostringstream().precision());
+}
+
+TEST(SimTrace, CommEventsRecordedMergedAndCleared) {
+  rcs::sim::TraceRecorder rec(true);
+  rcs::sim::CommEvent ev;
+  ev.kind = rcs::sim::CommEvent::Kind::Send;
+  ev.rank = 0;
+  ev.peer = 1;
+  ev.t0 = 1.0;
+  ev.t1 = 2.0;
+  ev.depart = 1.0;
+  ev.arrival = 2.0;
+  ev.bytes = 64;
+  ev.phase = "send";
+  rec.add_comm(ev);
+  ASSERT_EQ(rec.comm_events().size(), 1u);
+  EXPECT_EQ(rec.comm_events()[0].peer, 1);
+
+  rcs::sim::TraceRecorder other(true);
+  ev.rank = 1;
+  ev.kind = rcs::sim::CommEvent::Kind::Recv;
+  other.add_comm(ev);
+  rec.merge_from(std::move(other));
+  EXPECT_EQ(rec.comm_events().size(), 2u);
+
+  // Disabled recorders drop comm events like they drop spans.
+  rcs::sim::TraceRecorder off(false);
+  off.add_comm(ev);
+  EXPECT_TRUE(off.comm_events().empty());
+
+  rec.clear();
+  EXPECT_TRUE(rec.comm_events().empty());
+  EXPECT_TRUE(rec.spans().empty());
 }
 
 TEST(Trace, PhaseSpanAccumulatesWallCounter) {

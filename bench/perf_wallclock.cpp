@@ -42,6 +42,8 @@
 #include "lookahead_sweep.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "obs/trace.hpp"
+#include "scaling_sweep.hpp"
 
 namespace la = rcs::linalg;
 namespace simd = rcs::linalg::simd;
@@ -272,6 +274,56 @@ int run_identity_guards() {
   return failures;
 }
 
+/// One "scaling" entry. Simulated points carry a compact analysis summary
+/// (headline scalars + the top critical-path segments) rather than the full
+/// per-rank attribution — a p=1024 block would add a thousand rows to a
+/// committed artifact; the standalone bench/scaling_sweep prints (and
+/// exit-codes on) the full invariant check.
+void write_scaling_point(std::ostream& out, const rcs::bench::ScalingPoint& pt,
+                         bool last) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"design\": \"%s\", \"p\": %d, \"n\": %lld, \"b\": %lld, "
+      "\"b_f\": %lld, \"l\": %d, \"l1\": %lld, \"l2\": %lld, "
+      "\"predicted_s\": %.9g, \"simulated\": %s",
+      pt.design.c_str(), pt.p, pt.n, pt.b, pt.b_f, pt.l, pt.l1, pt.l2,
+      pt.predicted_s, pt.simulated ? "true" : "false");
+  out << buf;
+  if (pt.simulated) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"simulated_s\": %.9g, \"sim_over_predicted\": %.4f, "
+        "\"bytes_on_network\": %llu, \"trace_events\": %llu, "
+        "\"sim_wall_s\": %.4f, \"analysis_summary\": {\"makespan_s\": %.9g, "
+        "\"critical_path_s\": %.9g, \"cp_idle_s\": %.9g, "
+        "\"resource_seconds_s\": %.9g, \"mean_utilization\": %.6f, "
+        "\"imbalance_max_over_mean\": %.6f, \"jain_fairness\": %.6f, "
+        "\"invariants_hold\": %s, \"top_segments\": [",
+        pt.simulated_s, pt.sim_over_predicted(),
+        static_cast<unsigned long long>(pt.bytes_on_network),
+        static_cast<unsigned long long>(pt.trace_events), pt.wall_s,
+        pt.analysis.makespan_s, pt.analysis.critical_path_s,
+        pt.analysis.cp_idle_s, pt.analysis.resource_seconds_s,
+        pt.analysis.mean_utilization, pt.analysis.imbalance_max_over_mean,
+        pt.analysis.jain_fairness,
+        pt.analysis.invariants_hold() ? "true" : "false");
+    out << buf;
+    const auto top = pt.analysis.top_segments(3);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"kind\": \"%s\", \"rank\": %d, \"label\": \"%s\", "
+                    "\"duration_s\": %.9g}",
+                    i > 0 ? ", " : "", top[i].kind.c_str(), top[i].rank,
+                    rcs::obs::json_escape(top[i].label).c_str(),
+                    top[i].duration());
+      out << buf;
+    }
+    out << "]}";
+  }
+  out << "}" << (last ? "" : ",") << '\n';
+}
+
 void write_json(const std::vector<Row>& rows,
                 const core::DriftReport& lu_drift,
                 const core::DriftReport& fw_drift,
@@ -279,6 +331,7 @@ void write_json(const std::vector<Row>& rows,
                 const core::DriftReport& fw_drift_la,
                 const std::vector<rcs::bench::LookaheadPoint>& lookahead,
                 const std::vector<rcs::bench::FaultPoint>& faults,
+                const std::vector<rcs::bench::ScalingPoint>& scaling,
                 bool smoke, const std::string& path) {
   std::ofstream out(path);
   out << "{\n";
@@ -299,6 +352,11 @@ void write_json(const std::vector<Row>& rows,
                   r.reps, r.queue_wait_ms, r.busy_ms, r.jobs, r.chunks,
                   i + 1 < rows.size() ? "," : "");
     out << buf;
+  }
+  out << "  ],\n";
+  out << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    write_scaling_point(out, scaling[i], i + 1 == scaling.size());
   }
   out << "  ],\n";
   if (smoke) {
@@ -493,6 +551,27 @@ int main(int argc, char** argv) {
                 headline, packed1 / packed_any);
   }
 
+  // --- Large-p scaling sweep (the fiber rank scheduler's design point):
+  // predicted vs simulated makespan across world sizes, LU simulated
+  // everywhere (p=1024 runs as fibers in this process), FW simulated
+  // through p=64 (its functional plane grows ~p^3). Smoke trims to the two
+  // small worlds so the CI lane stays fast.
+  const std::vector<int> scaling_ps =
+      smoke ? std::vector<int>{4, 16} : std::vector<int>{4, 16, 64, 256, 1024};
+  const std::vector<rcs::bench::ScalingPoint> scaling = rcs::bench::
+      scaling_sweep(scaling_ps, 128, 16, 8, smoke ? 16 : 1024, smoke ? 16 : 64);
+  int scaling_failures = 0;
+  for (const auto& pt : scaling) {
+    if (!pt.simulated) continue;
+    if (!pt.analysis.invariants_hold()) ++scaling_failures;
+    std::printf(
+        "scaling %-2s p=%-5d n=%-5lld sim %.6g s vs predicted %.6g s "
+        "(%.1fx), cp %.6g s, invariants %s\n",
+        pt.design.c_str(), pt.p, pt.n, pt.simulated_s, pt.predicted_s,
+        pt.sim_over_predicted(), pt.analysis.critical_path_s,
+        pt.analysis.invariants_hold() ? "ok" : "VIOLATED");
+  }
+
   core::DriftReport lu_drift, fw_drift, lu_drift_la, fw_drift_la;
   std::vector<rcs::bench::LookaheadPoint> lookahead;
   std::vector<rcs::bench::FaultPoint> faults;
@@ -564,7 +643,7 @@ int main(int argc, char** argv) {
   }
 
   write_json(rows, lu_drift, fw_drift, lu_drift_la, fw_drift_la, lookahead,
-             faults, smoke, path);
+             faults, scaling, smoke, path);
   std::cout << "wrote " << path << "\n";
-  return guard_failures == 0 ? 0 : 1;
+  return guard_failures == 0 && scaling_failures == 0 ? 0 : 1;
 }

@@ -231,6 +231,12 @@ std::unique_ptr<ThreadPool>& global_slot() {
 
 }  // namespace
 
+bool exchange_in_parallel_body(bool value) {
+  const bool prev = tls_in_parallel_body;
+  tls_in_parallel_body = value;
+  return prev;
+}
+
 ThreadPool& ThreadPool::global() { return *global_slot(); }
 
 void ThreadPool::set_global_threads(int threads) {

@@ -62,6 +62,15 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Swap the calling thread's "inside a parallel_for body" flag, returning
+/// the previous value. For the fiber scheduler only: a rank fiber hosted on
+/// a pool worker must see top-level-thread semantics (its compute kernels'
+/// parallel_for calls fan out instead of silently degrading to serial), so
+/// the scheduler clears the flag when switching onto a fiber stack and
+/// restores the host's value when the fiber yields. True nested parallelism
+/// — a parallel_for issued from inside a running body — still runs serial.
+bool exchange_in_parallel_body(bool value);
+
 /// Convenience: parallel_for on the shared global pool.
 inline void parallel_for(
     std::size_t begin, std::size_t end, std::size_t grain,

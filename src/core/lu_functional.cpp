@@ -224,6 +224,7 @@ LuFunctionalResult lu_functional(const SystemParams& sys, const LuConfig& cfg,
   net::World world(p, sys.network);
   world.set_message_logging(message_log != nullptr);
   world.set_fault_plan(plan);
+  world.set_max_workers(cfg.max_workers);
   std::vector<RankStats> stats(static_cast<std::size_t>(p));
   std::vector<sim::TraceRecorder> rank_traces(
       static_cast<std::size_t>(p),

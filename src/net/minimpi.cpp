@@ -1,9 +1,12 @@
 #include "net/minimpi.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 
+#include "common/thread_pool.hpp"
 #include "obs/trace.hpp"
 
 namespace rcs::net {
@@ -587,13 +590,22 @@ std::vector<MessageEvent> World::message_log() const {
   return all;
 }
 
+void World::wake_box_waiters(Mailbox& box,
+                             std::vector<common::Fiber*>& spliced) {
+  box.cv.notify_all();
+  for (common::Fiber* f : spliced) f->wake();
+  spliced.clear();
+}
+
 void World::deliver(int dst, Message msg) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::vector<common::Fiber*> waiters;
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queue.push_back(std::move(msg));
+    waiters.swap(box.fiber_waiters);
   }
-  box.cv.notify_all();
+  wake_box_waiters(box, waiters);
 }
 
 Message World::take(int dst, int src, int tag) {
@@ -628,7 +640,18 @@ Message World::take(int dst, int src, int tag) {
                                 " tag=" + std::to_string(tag) +
                                 ", but that rank fail-stopped");
     }
-    box.cv.wait(lock);
+    // Block until a waker (deliver / poison_mailboxes / mark_failed) fires,
+    // then re-run the predicate checks above. A rank fiber parks on its own
+    // stack — freeing the worker thread to run another rank — while an
+    // ordinary rank thread waits on the condition variable; the waiter-list
+    // registration below plays the role cv.wait's internal queue plays for
+    // threads, and both paths wake through wake_box_waiters.
+    if (common::Fiber* self = common::Fiber::current()) {
+      box.fiber_waiters.push_back(self);
+      common::Fiber::park(lock);
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 
@@ -645,25 +668,50 @@ bool World::poll(int dst, int src, int tag) {
 }
 
 void World::poison_mailboxes() {
+  std::vector<common::Fiber*> waiters;
   for (auto& box : mailboxes_) {
     {
       std::lock_guard<std::mutex> lock(box->mu);
       box->poisoned = true;
+      waiters.swap(box->fiber_waiters);
     }
-    box->cv.notify_all();
+    wake_box_waiters(*box, waiters);
   }
 }
 
 void World::mark_failed(int rank) {
+  // Wakeup-protocol note (the missed-wakeup audit of the `failed_` flag):
+  // the release store below happens outside every box mutex, yet no blocked
+  // take() can miss it. A waiter's last is_failed check before blocking runs
+  // with box.mu held, and it keeps holding box.mu until cv.wait (or
+  // Fiber::park) atomically releases the mutex as it blocks — so for each
+  // waiter there are only two interleavings:
+  //
+  //  1. The waiter's lock of box.mu succeeds only after this thread's
+  //     lock/unlock below released it. Then store(failed_) sequenced-before
+  //     unlock(box.mu) happens-before the waiter's lock — the re-check (or
+  //     the pre-wait check) observes the flag and throws.
+  //  2. The waiter already held box.mu when this thread arrived at the
+  //     lock below. Then the waiter reaches cv.wait/park — which releases
+  //     the mutex and is, by then, registered for wakeup — before this
+  //     thread can acquire it, so the notify/wake below cannot fire in the
+  //     check-to-block window. The woken waiter re-checks under the mutex
+  //     and interleaving 1 applies.
+  //
+  // The lock_guard is intentionally empty for the cv side (the fence
+  // through the mutex is all it provides); it additionally splices the
+  // fiber-waiter list, which must be consumed under the mutex so each
+  // parked fiber earns exactly one wake.
+  // Regression: MiniMpiFaults.CrashDuringBlockedRecvStress.
   failed_[static_cast<std::size_t>(rank)].store(true,
                                                 std::memory_order_release);
-  // Wake every blocked take(): waits on the dead rank must re-check and
-  // throw RankFailed; everyone else re-blocks harmlessly.
+  std::vector<common::Fiber*> waiters;
   for (auto& box : mailboxes_) {
     {
       std::lock_guard<std::mutex> lock(box->mu);
+      waiters.swap(box->fiber_waiters);
     }
-    box->cv.notify_all();
+    wake_box_waiters(*box, waiters);
   }
 }
 
@@ -675,6 +723,32 @@ std::vector<int> World::failed_ranks() const {
   return out;
 }
 
+void World::set_max_workers(int max_workers) {
+  RCS_CHECK_MSG(max_workers >= kThreadPerRank,
+                "max_workers must be kThreadPerRank (-1), 0 (auto) or > 0, "
+                "got " << max_workers);
+  max_workers_ = max_workers;
+}
+
+int World::resolve_workers() const {
+  int mw = max_workers_;
+  if (mw == 0) {
+    if (const char* env = std::getenv("RCS_MAX_WORKERS")) {
+      const int v = std::atoi(env);
+      if (v >= 1 || v == kThreadPerRank) mw = v;
+    }
+  }
+  if (mw == 0) {
+    // Auto: small worlds keep the thread-per-rank schedule (ranks' real
+    // compute overlaps with no cooperative scheduler in the way); large
+    // worlds multiplex onto the pool's thread budget.
+    if (size_ <= kAutoFiberThreshold) return kThreadPerRank;
+    mw = common::ThreadPool::global().threads();
+  }
+  if (mw == kThreadPerRank) return kThreadPerRank;
+  return std::min(mw, size_);
+}
+
 void World::run(const std::function<void(Comm&)>& rank_main) {
   if (ran_) {
     // A World is reusable: wipe every per-run artifact (stale clocks, NIC
@@ -684,6 +758,7 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
       std::lock_guard<std::mutex> lock(box->mu);
       box->queue.clear();
       box->poisoned = false;
+      box->fiber_waiters.clear();
     }
     for (int r = 0; r < size_; ++r) {
       failed_[static_cast<std::size_t>(r)].store(false,
@@ -693,63 +768,84 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   }
   ran_ = true;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(size_));
   std::mutex err_mu;
   std::exception_ptr first_error;
   bool first_is_abort = false;  // held error is a secondary WorldAborted
 
-  for (int r = 0; r < size_; ++r) {
-    threads.emplace_back(
-        [this, r, &rank_main, &err_mu, &first_error, &first_is_abort] {
-          try {
-            // Each rank gets its own trace lane, so Perfetto shows per-rank
-            // timelines alongside the pool workers'.
-            if (obs::trace_enabled()) {
-              obs::set_thread_lane("rank " + std::to_string(r));
-            }
-            rank_main(*comms_[static_cast<std::size_t>(r)]);
-          } catch (const WorldAborted&) {
-            // Secondary failure induced by the poison below: keep it only
-            // until the original exception shows up.
-            std::lock_guard<std::mutex> lock(err_mu);
-            if (!first_error) {
-              first_error = std::current_exception();
-              first_is_abort = true;
-            }
-          } catch (const RankFailed& rf) {
-            if (rf.rank == r) {
-              // Injected fail-stop of this rank: expected under a FaultPlan.
-              // The world keeps running — survivors observe the failure as
-              // RankFailed on their own receives and may tolerate it.
-            } else {
-              // A survivor let a peer's failure escape its main function:
-              // the app did not tolerate the fault, so unwind the world
-              // like any other error.
-              {
-                std::lock_guard<std::mutex> lock(err_mu);
-                if (!first_error || first_is_abort) {
-                  first_error = std::current_exception();
-                  first_is_abort = false;
-                }
-              }
-              poison_mailboxes();
-            }
-          } catch (...) {
-            {
-              std::lock_guard<std::mutex> lock(err_mu);
-              if (!first_error || first_is_abort) {
-                first_error = std::current_exception();
-                first_is_abort = false;
-              }
-            }
-            // Wake every rank blocked on this (now dead) one so the whole
-            // run unwinds instead of hanging.
-            poison_mailboxes();
+  // The per-rank body, identical under both schedulers: run the rank's main
+  // and classify whatever escapes it. All simulated state lives in the
+  // rank's Comm, so the body is agnostic to what carries it (OS thread or
+  // fiber).
+  auto rank_body = [this, &rank_main, &err_mu, &first_error,
+                    &first_is_abort](int r) {
+    try {
+      rank_main(*comms_[static_cast<std::size_t>(r)]);
+    } catch (const WorldAborted&) {
+      // Secondary failure induced by the poison below: keep it only
+      // until the original exception shows up.
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error) {
+        first_error = std::current_exception();
+        first_is_abort = true;
+      }
+    } catch (const RankFailed& rf) {
+      if (rf.rank == r) {
+        // Injected fail-stop of this rank: expected under a FaultPlan.
+        // The world keeps running — survivors observe the failure as
+        // RankFailed on their own receives and may tolerate it.
+      } else {
+        // A survivor let a peer's failure escape its main function:
+        // the app did not tolerate the fault, so unwind the world
+        // like any other error.
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error || first_is_abort) {
+            first_error = std::current_exception();
+            first_is_abort = false;
           }
-        });
+        }
+        poison_mailboxes();
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error || first_is_abort) {
+          first_error = std::current_exception();
+          first_is_abort = false;
+        }
+      }
+      // Wake every rank blocked on this (now dead) one so the whole
+      // run unwinds instead of hanging.
+      poison_mailboxes();
+    }
+  };
+
+  const int workers = resolve_workers();
+  if (workers == kThreadPerRank) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      threads.emplace_back([r, &rank_body] {
+        // Each rank gets its own trace lane, so Perfetto shows per-rank
+        // timelines alongside the pool workers'.
+        if (obs::trace_enabled()) {
+          obs::set_thread_lane("rank " + std::to_string(r));
+        }
+        rank_body(r);
+      });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    // Fiber mode: every rank is a resumable context; take() parks it and
+    // the scheduler resumes another runnable rank on the same worker. The
+    // lane_name hook keeps per-rank Chrome-trace lanes intact even when
+    // many ranks share one OS thread.
+    common::FiberScheduler::Options opt;
+    opt.workers = workers;
+    opt.stack_bytes = fiber_stack_bytes_;
+    opt.lane_name = [](int r) { return "rank " + std::to_string(r); };
+    common::FiberScheduler::run(size_, opt, rank_body);
   }
-  for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
 

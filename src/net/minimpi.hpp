@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fiber.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
@@ -438,8 +439,15 @@ class World {
   int size() const { return size_; }
   const NetworkParams& network() const { return net_; }
 
-  /// Launch `size` threads, each executing rank_main with its Comm, and join
-  /// them all. Rethrows the first rank exception after joining; when one
+  /// Run every rank's rank_main to completion and return. Depending on the
+  /// scheduling mode (set_max_workers), ranks execute either as one OS
+  /// thread each or as cooperative fibers multiplexed over a small worker
+  /// set; the semantics are identical either way — simulated clocks, FIFO
+  /// per-(src,tag) delivery, poison/RankFailed propagation, and FaultPlan
+  /// replay do not depend on the mode (receives name their source and tag,
+  /// and per-pair order is fixed by the sender's program order, so no
+  /// scheduler interleaving is observable). Rethrows the first rank
+  /// exception after joining; when one
   /// rank fails, every mailbox is poisoned so peers blocked in recv/wait/
   /// barrier wake with WorldAborted instead of hanging (those secondary
   /// aborts are swallowed — the original exception is what propagates).
@@ -475,6 +483,35 @@ class World {
   /// Ranks that fail-stopped during the last run(), ascending.
   std::vector<int> failed_ranks() const;
 
+  /// Force thread-per-rank execution (see set_max_workers).
+  static constexpr int kThreadPerRank = -1;
+
+  /// Ranks at or below this size default to thread-per-rank ("auto" mode):
+  /// small worlds keep one OS thread per rank (real compute overlaps across
+  /// ranks with no scheduler in the way), large worlds switch to fibers so
+  /// p=256–1024 fits in one process.
+  static constexpr int kAutoFiberThreshold = 32;
+
+  /// Scheduling-mode knob for run():
+  ///   0 (default)      — auto: thread-per-rank for size() <=
+  ///                      kAutoFiberThreshold, otherwise the fiber
+  ///                      scheduler with min(pool threads, size()) workers.
+  ///                      The RCS_MAX_WORKERS environment variable (same
+  ///                      encoding as this knob) overrides auto's choice.
+  ///   w > 0            — fiber scheduler multiplexing the ranks over at
+  ///                      most w cooperative workers (hosted on the global
+  ///                      ThreadPool; effective concurrency is additionally
+  ///                      capped by the pool's thread count).
+  ///   kThreadPerRank   — force one OS thread per rank.
+  void set_max_workers(int max_workers);
+  int max_workers() const { return max_workers_; }
+
+  /// Per-fiber stack size for fiber-mode runs; 0 = default (the
+  /// RCS_FIBER_STACK_KB environment variable, or 256 KiB — 1 MiB under
+  /// sanitizers). Rank mains that put large matrices on the stack need more;
+  /// the guard page below each stack turns overflow into a fault.
+  void set_fiber_stack_bytes(std::size_t bytes) { fiber_stack_bytes_ = bytes; }
+
  private:
   friend class Comm;
   friend class Request;
@@ -484,6 +521,10 @@ class World {
     std::condition_variable cv;
     std::deque<Message> queue;
     bool poisoned = false;  // a peer rank failed; waits must not block
+    /// Rank fibers parked in take() on this box. A waiter registers here
+    /// under `mu` before parking; wakers splice the list under `mu` and
+    /// wake each fiber exactly once (the fiber analogue of cv.notify_all).
+    std::vector<common::Fiber*> fiber_waiters;
   };
 
   void deliver(int dst, Message msg);
@@ -503,8 +544,20 @@ class World {
         std::memory_order_acquire);
   }
 
+  /// Wake everyone blocked in take() on `box`: notify the cv (thread-mode
+  /// waiters) and wake every spliced fiber waiter. `spliced` must have been
+  /// swapped out of box.fiber_waiters under box.mu by the caller.
+  static void wake_box_waiters(Mailbox& box,
+                               std::vector<common::Fiber*>& spliced);
+
+  /// The scheduling mode for this run: kThreadPerRank, or a positive fiber
+  /// worker count (resolves the auto mode and RCS_MAX_WORKERS).
+  int resolve_workers() const;
+
   int size_;
   NetworkParams net_;
+  int max_workers_ = 0;                 // see set_max_workers
+  std::size_t fiber_stack_bytes_ = 0;   // see set_fiber_stack_bytes
   bool log_messages_ = false;
   bool ran_ = false;  // a run() completed; the next run() resets state
   const sim::FaultPlan* fault_plan_ = nullptr;

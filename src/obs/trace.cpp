@@ -42,16 +42,23 @@ TraceState& state() {
   return *s;
 }
 
+std::shared_ptr<ThreadBuffer> register_buffer(const std::string& lane) {
+  auto b = std::make_shared<ThreadBuffer>();
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  b->tid = s.next_tid++;
+  b->lane = lane.empty() ? "thread " + std::to_string(b->tid) : lane;
+  s.buffers.push_back(b);
+  return b;
+}
+
+/// Detached-lane binding installed by set_current_lane (fiber scheduler);
+/// empty for ordinary threads, which record into their own default lane.
+thread_local std::shared_ptr<ThreadBuffer> tls_bound_lane;
+
 ThreadBuffer& this_thread_buffer() {
-  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
-    auto b = std::make_shared<ThreadBuffer>();
-    TraceState& s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    b->tid = s.next_tid++;
-    b->lane = "thread " + std::to_string(b->tid);
-    s.buffers.push_back(b);
-    return b;
-  }();
+  if (tls_bound_lane) return *tls_bound_lane;
+  thread_local std::shared_ptr<ThreadBuffer> buf = register_buffer("");
   return *buf;
 }
 
@@ -102,6 +109,14 @@ std::int64_t trace_now_ns() { return steady_ns() - epoch_ns(); }
 
 void set_thread_lane(const std::string& name) {
   this_thread_buffer().lane = name;
+}
+
+Lane make_lane(const std::string& name) { return register_buffer(name); }
+
+Lane current_lane() { return tls_bound_lane; }
+
+void set_current_lane(const Lane& lane) {
+  tls_bound_lane = std::static_pointer_cast<ThreadBuffer>(lane);
 }
 
 void record_span(const char* name, const char* category, std::int64_t t0_ns,

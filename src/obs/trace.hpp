@@ -38,8 +38,30 @@ void set_trace_enabled(bool enabled);
 std::int64_t trace_now_ns();
 
 /// Name the calling thread's trace lane (e.g. "rank 3"). Creates the lane
-/// if the thread has not recorded yet.
+/// if the thread has not recorded yet. When a detached lane is bound (see
+/// set_current_lane), renames that lane instead.
 void set_thread_lane(const std::string& name);
+
+/// Opaque shared handle to a trace lane (see make_lane). An empty handle
+/// denotes the calling thread's own default lane.
+using Lane = std::shared_ptr<void>;
+
+/// Create a detached lane named `name`, not yet bound to any thread. The
+/// fiber scheduler gives each rank fiber one of these so its spans stay in
+/// a stable "rank N" lane no matter which worker thread resumes it.
+Lane make_lane(const std::string& name);
+
+/// The calling thread's current lane binding: the handle installed by
+/// set_current_lane, or an empty handle when the thread records into its
+/// own default lane. Intended for save/restore around a fiber switch.
+Lane current_lane();
+
+/// Bind `lane` as the calling thread's recording target: subsequent spans
+/// from this thread land in it. An empty handle restores the thread's own
+/// default lane. A lane must be bound to at most one running thread at a
+/// time (the fiber scheduler guarantees this: a fiber runs on one worker
+/// at a time, and migrations synchronize through the scheduler queue).
+void set_current_lane(const Lane& lane);
 
 /// Record a completed span on the calling thread's lane. No-op when
 /// tracing is disabled.

@@ -60,6 +60,13 @@ class TraceRecorder {
 
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<CommEvent>& comm_events() const { return comm_events_; }
+
+  /// Total recorded volume (spans + comm events). Scaling sweeps publish it
+  /// per design point so the trace/analysis cost of a large-p world is
+  /// visible next to its makespan.
+  std::size_t event_count() const {
+    return spans_.size() + comm_events_.size();
+  }
   void clear() {
     spans_.clear();
     comm_events_.clear();

@@ -18,6 +18,7 @@
 #include "linalg/generate.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/simd.hpp"
+#include "net/minimpi.hpp"
 
 namespace la = rcs::linalg;
 namespace simd = rcs::linalg::simd;
@@ -362,6 +363,42 @@ TEST(ThreadPool, EmptyRangeIsANoop) {
   bool ran = false;
   pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+// Regression: the nested-parallelism cap used to serialize any parallel_for
+// issued from a pool-hosted context. MiniMPI rank fibers are hosted inside a
+// pool parallel_for (the worker loops), but a rank's GEMM must still fan
+// out — the fiber scheduler clears the in-parallel-body flag while a fiber
+// runs and restores it on yield. A serialized call runs its body exactly
+// once over the whole range; the pool path partitions into
+// min(threads, count/grain) chunks, so with 3 pool threads the rank must
+// observe 3 chunks. Rank 0 parks in recv before its parallel_for to prove
+// the flag also survives a suspend/resume cycle.
+TEST(ThreadPool, RankFiberParallelForIsNotSerialized) {
+  common::ThreadPool::set_global_threads(3);
+  rcs::net::NetworkParams np;
+  np.bytes_per_s = 1e9;
+  np.latency_s = 0.0;
+  rcs::net::World world(2, np);
+  world.set_max_workers(2);  // fiber mode, worker loops hosted on the pool
+  std::atomic<int> chunks0{0}, chunks1{0};
+  world.run([&](rcs::net::Comm& comm) {
+    auto& chunks = comm.rank() == 0 ? chunks0 : chunks1;
+    if (comm.rank() == 0) comm.recv(1, 1);  // park + resume before computing
+    common::parallel_for(0, 300, 1, [&](std::size_t, std::size_t) {
+      chunks.fetch_add(1);
+      // True nested parallelism from inside a chunk body must still
+      // degrade to serial (one invocation), fiber or not.
+      std::atomic<int> inner{0};
+      common::parallel_for(0, 300, 1,
+                           [&](std::size_t, std::size_t) { ++inner; });
+      EXPECT_EQ(inner.load(), 1);
+    });
+    if (comm.rank() == 1) comm.send_value(0, 1, 1);
+  });
+  EXPECT_EQ(chunks0.load(), 3);
+  EXPECT_EQ(chunks1.load(), 3);
+  common::ThreadPool::set_global_threads(1);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/generate.hpp"
 #include "linalg/simd.hpp"
+#include "net/minimpi.hpp"
 #include "sim/faults.hpp"
 #include "sim/trace.hpp"
 
@@ -305,6 +306,67 @@ TEST(Determinism, FaultPlanReplayIsByteIdentical) {
     EXPECT_EQ(fres.faults.reissued_blocks, fw_ref.faults.reissued_blocks);
     EXPECT_EQ(fres.faults.recovery_cpu_s, fw_ref.faults.recovery_cpu_s);
     EXPECT_EQ(fres.faults.mttr_s, fw_ref.faults.mttr_s);
+  }
+  common::ThreadPool::set_global_threads(1);
+}
+
+// The rank scheduler must be invisible to the simulation: multiplexing the
+// ranks as fibers over 1, 2, or 7 worker loops produces the same simulated
+// clocks, bit-identical outputs, and a byte-identical trace CSV as the
+// thread-per-rank baseline. This is the p<=8 byte-identity contract that
+// lets large-p worlds default to fibers without a semantic escape hatch.
+TEST(Determinism, RankSchedulerInvariantAcrossMaxWorkers) {
+  const la::Matrix a = la::diagonally_dominant(64, 1234);
+  const la::Matrix d0 = gr::random_digraph(64, 4321, 0.4);
+
+  core::LuConfig lu;
+  lu.n = 64;
+  lu.b = 16;
+  lu.mode = core::DesignMode::Hybrid;
+
+  core::FwConfig fw;
+  fw.n = 64;
+  fw.b = 16;
+  fw.mode = core::DesignMode::Hybrid;
+
+  const auto trace_csv = [](sim::TraceRecorder& rec) {
+    std::ostringstream os;
+    rec.write_csv(os);
+    return os.str();
+  };
+
+  // Baseline: the pre-scheduler execution model, one OS thread per rank.
+  common::ThreadPool::set_global_threads(2);
+  lu.max_workers = rcs::net::World::kThreadPerRank;
+  fw.max_workers = rcs::net::World::kThreadPerRank;
+  sim::TraceRecorder lu_rec(true);
+  const auto lu_ref = core::lu_functional(xd1_p(3), lu, a, false, &lu_rec);
+  const std::string lu_trace = trace_csv(lu_rec);
+  sim::TraceRecorder fw_rec(true);
+  const auto fw_ref = core::fw_functional(xd1_p(2), fw, d0, false, &fw_rec);
+  const std::string fw_trace = trace_csv(fw_rec);
+
+  for (int workers : {1, 2, 7}) {
+    lu.max_workers = workers;
+    fw.max_workers = workers;
+
+    sim::TraceRecorder rec(true);
+    const auto res = core::lu_functional(xd1_p(3), lu, a, false, &rec);
+    EXPECT_EQ(res.run.seconds, lu_ref.run.seconds) << "workers=" << workers;
+    EXPECT_EQ(res.run.bytes_on_network, lu_ref.run.bytes_on_network)
+        << "workers=" << workers;
+    EXPECT_TRUE(la::bit_equal(res.factored.view(), lu_ref.factored.view()))
+        << "workers=" << workers;
+    EXPECT_EQ(trace_csv(rec), lu_trace) << "workers=" << workers;
+
+    sim::TraceRecorder frec(true);
+    const auto fres = core::fw_functional(xd1_p(2), fw, d0, false, &frec);
+    EXPECT_EQ(fres.run.seconds, fw_ref.run.seconds) << "workers=" << workers;
+    EXPECT_EQ(fres.run.bytes_on_network, fw_ref.run.bytes_on_network)
+        << "workers=" << workers;
+    EXPECT_TRUE(la::bit_equal(fres.distances.view(), fw_ref.distances.view()))
+        << "workers=" << workers;
+    EXPECT_EQ(trace_csv(frec), fw_trace) << "workers=" << workers;
   }
   common::ThreadPool::set_global_threads(1);
 }

@@ -832,4 +832,80 @@ TEST(MiniMpiFaults, EmptyPlanIsZeroCost) {
   EXPECT_DOUBLE_EQ(makespan(nullptr), makespan(&empty));
 }
 
+// Regression for the mark_failed wakeup protocol (see the proof comment in
+// minimpi.cpp): rank 1 is already blocked in recv when rank 0 fail-stops,
+// so every iteration exercises the check-to-block window where a missed
+// wakeup would hang the receiver until the suite TIMEOUT. Hammered in both
+// scheduling modes — cv.wait waiters (thread-per-rank) and parked fibers.
+TEST(MiniMpiFaults, CrashDuringBlockedRecvStress) {
+  for (const int mode : {net::World::kThreadPerRank, 2}) {
+    for (int iter = 0; iter < 120; ++iter) {
+      sim::FaultPlan plan(static_cast<unsigned>(iter + 1));
+      plan.add_crash({0, 0.0});
+      net::World world(2, fast_net());
+      world.set_fault_plan(&plan);
+      world.set_max_workers(mode);
+      try {
+        world.run([](net::Comm& comm) {
+          if (comm.rank() == 0) {
+            comm.clock().advance(1.0);  // crash due at the next comm op
+            comm.send_value(1, 1, 7);   // fail-stop fires here
+            ADD_FAILURE() << "rank 0 should have fail-stopped";
+          } else {
+            comm.recv(0, 1);  // blocked when rank 0 dies: must wake + throw
+          }
+        });
+        FAIL() << "expected RankFailed (mode " << mode << ", iter " << iter
+               << ")";
+      } catch (const net::RankFailed& rf) {
+        EXPECT_EQ(rf.rank, 0);
+      }
+      EXPECT_EQ(world.failed_ranks(), std::vector<int>{0});
+    }
+  }
+}
+
+// p=256 smoke for the fiber rank scheduler (auto mode switches to fibers
+// above World::kAutoFiberThreshold ranks): ring send/recv, barrier, and
+// bcast_tree all complete in one process, then a second run on the same
+// world injects one fail-stop and every survivor observes it. The suite
+// TIMEOUT is the hang guard.
+TEST(MiniMpiScale, P256RingBarrierBcastTreeWithFailStop) {
+  constexpr int kP = 256;
+  net::World world(kP, fast_net());
+  ASSERT_GT(kP, net::World::kAutoFiberThreshold);  // auto => fiber scheduler
+
+  world.run([](net::Comm& comm) {
+    const int p = comm.size();
+    const int r = comm.rank();
+    // Ring: pass each rank's id one hop clockwise (send is non-blocking).
+    comm.send_value((r + 1) % p, 1, r);
+    EXPECT_EQ(comm.recv((r + p - 1) % p, 1).as<int>(), (r + p - 1) % p);
+    comm.barrier();
+    // Binomial-tree broadcast from a non-zero root.
+    std::vector<std::byte> payload;
+    if (r == 3) payload = {std::byte{0xAB}, std::byte{0xCD}};
+    const auto got = comm.bcast_tree(3, 2, std::move(payload));
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], std::byte{0xAB});
+    EXPECT_EQ(got[1], std::byte{0xCD});
+  });
+  EXPECT_TRUE(world.failed_ranks().empty());
+
+  // Same world, one injected fail-stop: rank 17 dies at its first comm op,
+  // all 255 blocked survivors must wake with RankFailed (not hang).
+  sim::FaultPlan plan(99);
+  plan.add_crash({17, 0.0});
+  world.set_fault_plan(&plan);
+  world.run([](net::Comm& comm) {
+    if (comm.rank() == 17) {
+      comm.clock().advance(1.0);
+      EXPECT_THROW(comm.send_value(0, 3, 1), net::RankFailed);
+      return;  // the dead rank stops participating
+    }
+    EXPECT_THROW(comm.recv(17, 3), net::RankFailed);
+  });
+  EXPECT_EQ(world.failed_ranks(), std::vector<int>{17});
+}
+
 }  // namespace

@@ -3,6 +3,7 @@
 // reports, and the telemetry-on-vs-off determinism guard.
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,7 @@
 #include "core/lu_functional.hpp"
 #include "core/predict.hpp"
 #include "linalg/generate.hpp"
+#include "net/minimpi.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
@@ -333,6 +335,70 @@ TEST(Trace, ChromeTraceSurvivesLongAndHostileNames) {
   EXPECT_NE(s.find("padding-39"), std::string::npos);
   obs::clear_trace();
   obs::set_thread_lane("obs_test main");
+}
+
+/// Extract the integer after the first `"tid": ` that follows `anchor`.
+long tid_after(const std::string& s, const std::string& anchor) {
+  const std::size_t at = s.find(anchor);
+  if (at == std::string::npos) return -1;
+  const std::size_t tid = s.find("\"tid\": ", at);
+  if (tid == std::string::npos) return -1;
+  return std::strtol(s.c_str() + tid + 7, nullptr, 10);
+}
+
+/// Extract the tid of the thread_name metadata event naming `lane`.
+long lane_tid(const std::string& s, const std::string& lane) {
+  const std::string anchor = "\"args\": {\"name\": \"" + lane + "\"}";
+  const std::size_t at = s.find(anchor);
+  if (at == std::string::npos) return -1;
+  const std::size_t tid = s.rfind("\"tid\": ", at);
+  if (tid == std::string::npos) return -1;
+  return std::strtol(s.c_str() + tid + 7, nullptr, 10);
+}
+
+// Regression: trace lanes used to be pinned to OS threads
+// (set_thread_lane), so two ranks multiplexed onto one fiber worker wrote
+// into a single shared lane. Lane identity now lives on the rank context
+// (saved/restored on every fiber switch): with p=2 ranks forced onto ONE
+// worker loop, each rank's span must land in its own "rank N" lane, on
+// distinct tids, even though both executed on the same OS thread.
+TEST(Trace, FiberRanksSharingAWorkerKeepDistinctLanes) {
+  TelemetryGuard guard;
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+
+  rcs::net::NetworkParams np;
+  np.bytes_per_s = 1e9;
+  np.latency_s = 0.0;
+  rcs::net::World world(2, np);
+  world.set_max_workers(1);  // both ranks share a single worker loop
+  world.run([](rcs::net::Comm& comm) {
+    if (comm.rank() == 0) {
+      // Park first (recv blocks), so the worker switches to rank 1 and
+      // back — the span below is recorded after a lane save/restore.
+      comm.recv(1, 1);
+      obs::record_span("probe rank 0", "test", 0, 10);
+      comm.send_value(1, 2, 1);
+    } else {
+      obs::record_span("probe rank 1", "test", 0, 10);
+      comm.send_value(0, 1, 1);
+      comm.recv(0, 2);
+    }
+  });
+  obs::set_trace_enabled(false);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string s = os.str();
+  EXPECT_TRUE(json_balanced(s)) << s.substr(0, 400);
+  const long lane0 = lane_tid(s, "rank 0");
+  const long lane1 = lane_tid(s, "rank 1");
+  ASSERT_GE(lane0, 0) << "missing lane metadata for rank 0";
+  ASSERT_GE(lane1, 0) << "missing lane metadata for rank 1";
+  EXPECT_NE(lane0, lane1);
+  EXPECT_EQ(tid_after(s, "\"name\": \"probe rank 0\""), lane0);
+  EXPECT_EQ(tid_after(s, "\"name\": \"probe rank 1\""), lane1);
+  obs::clear_trace();
 }
 
 TEST(SimTrace, ChromeJsonEscapesHostileLabels) {
